@@ -1,0 +1,75 @@
+// Command costream-eval evaluates a trained COSTREAM model (written by
+// costream-train) against a corpus, reporting the paper's evaluation
+// metrics: median and 95th-percentile q-error for regression metrics, or
+// accuracy on a balanced subset for the binary metrics.
+//
+// Usage:
+//
+//	costream-eval -corpus test.json.gz -model model.json -metric e2e-latency
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"costream/internal/core"
+	"costream/internal/dataset"
+	"costream/internal/gnn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("costream-eval: ")
+	var (
+		corpusPath = flag.String("corpus", "corpus.json.gz", "evaluation corpus path")
+		modelPath  = flag.String("model", "model.json", "trained model path")
+		metricName = flag.String("metric", "e2e-latency", "metric the model was trained for")
+	)
+	flag.Parse()
+
+	corpus, err := dataset.Load(*corpusPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := os.ReadFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var net gnn.Model
+	if err := json.Unmarshal(data, &net); err != nil {
+		log.Fatal(err)
+	}
+	var metric core.Metric
+	found := false
+	for _, m := range core.AllMetrics() {
+		if m.String() == *metricName {
+			metric, found = m, true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown metric %q", *metricName)
+	}
+	model := &core.CostModel{Metric: metric, Feat: core.Featurizer{}, Net: &net}
+
+	if metric.IsRegression() {
+		sum, err := core.EvaluateRegression(model, corpus, metric)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: Q50=%.2f Q95=%.2f max=%.2f (n=%d successful traces)\n",
+			metric, sum.Median, sum.P95, sum.Max, sum.N)
+		return
+	}
+	bal := corpus.Balanced(func(tr *dataset.Trace) bool { return metric.Label(tr.Metrics) }, 1)
+	if bal.Len() == 0 {
+		bal = corpus
+	}
+	acc, err := core.EvaluateClassification(model, bal, metric)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: accuracy=%.2f%% (n=%d, balanced)\n", metric, 100*acc, bal.Len())
+}

@@ -1,0 +1,94 @@
+// Command costream-train trains COSTREAM cost models on a corpus written
+// by costream-datagen and saves the model weights as JSON.
+//
+// Usage:
+//
+//	costream-train -corpus corpus.json.gz -metric e2e-latency -out model.json
+//	costream-train -corpus corpus.json.gz -all -out models/   # all five metrics
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"costream/internal/core"
+	"costream/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("costream-train: ")
+	var (
+		corpusPath = flag.String("corpus", "corpus.json.gz", "training corpus path")
+		metricName = flag.String("metric", "e2e-latency", "metric to train (throughput | proc-latency | e2e-latency | backpressure | success)")
+		all        = flag.Bool("all", false, "train all five metrics")
+		out        = flag.String("out", "model.json", "output file (or directory with -all)")
+		epochs     = flag.Int("epochs", 45, "training epochs")
+		hidden     = flag.Int("hidden", 32, "GNN hidden width")
+		lr         = flag.Float64("lr", 3e-3, "learning rate")
+		seed       = flag.Int64("seed", 1, "random seed")
+		verbose    = flag.Bool("v", false, "log per-epoch losses")
+	)
+	flag.Parse()
+
+	corpus, err := dataset.Load(*corpusPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, val, _ := corpus.Split(0.8, 0.1, *seed)
+	cfg := core.DefaultTrainConfig(*seed)
+	cfg.Epochs = *epochs
+	cfg.Hidden = *hidden
+	cfg.LR = *lr
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+
+	metrics := []core.Metric{}
+	if *all {
+		metrics = core.AllMetrics()
+	} else {
+		m, err := metricByName(*metricName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		metrics = append(metrics, m)
+	}
+	for _, m := range metrics {
+		start := time.Now()
+		model, err := core.Train(train, val, m, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := *out
+		if *all {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path = filepath.Join(*out, m.String()+".json")
+		}
+		data, err := json.Marshal(model.Net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained %-13s on %d traces in %v -> %s\n",
+			m, train.Len(), time.Since(start).Round(time.Second), path)
+	}
+}
+
+func metricByName(name string) (core.Metric, error) {
+	for _, m := range core.AllMetrics() {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown metric %q", name)
+}

@@ -1,0 +1,230 @@
+// Package costream is a from-scratch Go implementation of COSTREAM
+// (Heinrich et al., ICDE 2024): a learned, zero-shot cost model for the
+// initial placement of distributed stream processing operators on
+// heterogeneous edge-cloud hardware.
+//
+// The package exposes the high-level workflow; the building blocks live in
+// internal packages (query algebra, hardware model, execution simulator,
+// neural network stack, GNN cost models, placement optimizer, benchmark
+// generator, experiment harness):
+//
+//	// 1. Describe a streaming query.
+//	b := costream.NewQueryBuilder()
+//	src := b.AddSource(1000, []costream.DataType{costream.TypeInt, costream.TypeDouble})
+//	f := b.AddFilter(costream.FilterGT, costream.TypeInt, 0.5)
+//	sink := b.AddSink()
+//	b.Chain(src, f, sink)
+//	q, _ := b.Build()
+//
+//	// 2. Describe the hardware landscape.
+//	cluster := &costream.Cluster{Hosts: []*costream.Host{...}}
+//
+//	// 3. Train a cost model on generated traces (or load a corpus).
+//	corpus, _ := costream.GenerateCorpus(2000, 42)
+//	model, _ := costream.TrainModel(corpus, costream.DefaultTrainOptions())
+//
+//	// 4. Predict costs for a placement, or optimize one.
+//	costs, _ := model.PredictCosts(q, cluster, placement)
+//	best, _ := model.OptimizePlacement(q, cluster, 16, costream.MinProcLatency, 7)
+package costream
+
+import (
+	"fmt"
+	"math/rand"
+
+	"costream/internal/core"
+	"costream/internal/dataset"
+	"costream/internal/hardware"
+	"costream/internal/placement"
+	"costream/internal/sim"
+	"costream/internal/stream"
+	"costream/internal/workload"
+)
+
+// Re-exported query algebra types.
+type (
+	// Query is a DAG-shaped streaming query plan.
+	Query = stream.Query
+	// QueryBuilder assembles query plans fluently.
+	QueryBuilder = stream.Builder
+	// DataType enumerates tuple attribute types.
+	DataType = stream.DataType
+	// FilterFn enumerates filter comparison functions.
+	FilterFn = stream.FilterFn
+	// AggFn enumerates aggregation functions.
+	AggFn = stream.AggFn
+	// Window is a window specification for joins and aggregations.
+	Window = stream.Window
+	// Operator is one vertex of a query plan.
+	Operator = stream.Operator
+)
+
+// Re-exported data type constants.
+const (
+	TypeInt    = stream.TypeInt
+	TypeString = stream.TypeString
+	TypeDouble = stream.TypeDouble
+)
+
+// Re-exported filter functions.
+const (
+	FilterLT         = stream.FilterLT
+	FilterGT         = stream.FilterGT
+	FilterLE         = stream.FilterLE
+	FilterGE         = stream.FilterGE
+	FilterNE         = stream.FilterNE
+	FilterStartsWith = stream.FilterStartsWith
+	FilterEndsWith   = stream.FilterEndsWith
+)
+
+// Re-exported aggregation functions.
+const (
+	AggMin  = stream.AggMin
+	AggMax  = stream.AggMax
+	AggMean = stream.AggMean
+	AggAvg  = stream.AggAvg
+)
+
+// Re-exported window kinds.
+const (
+	WindowSliding    = stream.WindowSliding
+	WindowTumbling   = stream.WindowTumbling
+	WindowCountBased = stream.WindowCountBased
+	WindowTimeBased  = stream.WindowTimeBased
+)
+
+// Re-exported hardware and execution types.
+type (
+	// Host is one compute node described by the four transferable
+	// hardware features (CPU %, RAM MB, outgoing latency ms, outgoing
+	// bandwidth Mbit/s).
+	Host = hardware.Host
+	// Cluster is the hardware landscape available for placement.
+	Cluster = hardware.Cluster
+	// Placement maps operator index to host index.
+	Placement = sim.Placement
+	// Metrics are the five measured cost metrics of an execution.
+	Metrics = sim.Metrics
+	// Costs are predicted cost metrics for a placement candidate.
+	Costs = placement.PredCosts
+	// Corpus is a collection of executed query traces used for training.
+	Corpus = dataset.Corpus
+	// Objective selects the placement optimization target.
+	Objective = placement.Objective
+)
+
+// Re-exported optimization objectives.
+const (
+	MinProcLatency = placement.MinProcLatency
+	MinE2ELatency  = placement.MinE2ELatency
+	MaxThroughput  = placement.MaxThroughput
+)
+
+// NewQueryBuilder returns an empty query builder.
+func NewQueryBuilder() *QueryBuilder { return stream.NewBuilder() }
+
+// Execute runs the query under the placement on the cluster in the
+// bundled execution simulator and returns the measured cost metrics.
+func Execute(q *Query, c *Cluster, p Placement) (*Metrics, error) {
+	return sim.Run(q, c, p, sim.DefaultConfig())
+}
+
+// GenerateCorpus builds a training corpus of n executed traces following
+// the paper's benchmark distribution (Section VI, Table II).
+func GenerateCorpus(n int, seed int64) (*Corpus, error) {
+	return dataset.Build(dataset.BuildConfig{
+		N:    n,
+		Seed: seed,
+		Gen:  workload.DefaultConfig(seed),
+		Sim:  sim.DefaultConfig(),
+	})
+}
+
+// TrainOptions configures TrainModel.
+type TrainOptions struct {
+	// Epochs, BatchSize, LearningRate and Hidden configure each GNN.
+	Epochs       int
+	BatchSize    int
+	LearningRate float64
+	Hidden       int
+	// EnsembleSize is the number of models per cost metric.
+	EnsembleSize int
+	// Seed drives initialization and shuffling.
+	Seed int64
+	// Logf, when set, receives training progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DefaultTrainOptions mirrors the paper's setup at laptop scale.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{
+		Epochs:       45,
+		BatchSize:    16,
+		LearningRate: 3e-3,
+		Hidden:       32,
+		EnsembleSize: 3,
+		Seed:         1,
+	}
+}
+
+// Model is a trained COSTREAM cost model: one GNN ensemble per cost
+// metric, usable for cost prediction and placement optimization.
+type Model struct {
+	pred *core.Predictor
+}
+
+// TrainModel trains COSTREAM on the corpus (80/10 train/validation split;
+// the remainder is unused and may serve as a test set).
+func TrainModel(c *Corpus, opts TrainOptions) (*Model, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, fmt.Errorf("costream: empty corpus")
+	}
+	train, val, _ := c.Split(0.8, 0.1, opts.Seed)
+	tc := core.TrainConfig{
+		Epochs:    opts.Epochs,
+		BatchSize: opts.BatchSize,
+		LR:        opts.LearningRate,
+		Hidden:    opts.Hidden,
+		Seed:      opts.Seed,
+		Patience:  8,
+		Logf:      opts.Logf,
+	}
+	pr, err := core.TrainPredictor(train, val, core.PredictorConfig{
+		Train:        tc,
+		EnsembleSize: opts.EnsembleSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Model{pred: pr}, nil
+}
+
+// PredictCosts estimates the five cost metrics of executing the query
+// under the given placement, without running it.
+func (m *Model) PredictCosts(q *Query, c *Cluster, p Placement) (Costs, error) {
+	return m.pred.PredictPlacement(q, c, p)
+}
+
+// OptimizePlacement enumerates k heuristic placement candidates
+// (co-location allowed, increasing capability bins, acyclic — Figure 5),
+// filters out candidates predicted to fail or backpressure, and returns
+// the one optimizing the objective together with its predicted costs.
+func (m *Model) OptimizePlacement(q *Query, c *Cluster, k int, obj Objective, seed int64) (Placement, Costs, error) {
+	rng := rand.New(rand.NewSource(seed))
+	cands := placement.Enumerate(rng, q, c, k)
+	if len(cands) == 0 {
+		return nil, Costs{}, fmt.Errorf("costream: no valid placement candidates for %d operators on %d hosts",
+			q.NumOps(), c.NumHosts())
+	}
+	res, err := placement.Optimize(m.pred, q, c, cands, obj)
+	if err != nil {
+		return nil, Costs{}, err
+	}
+	return res.Placement, res.Costs, nil
+}
+
+// HeuristicPlacement returns a placement drawn by the plain IoT heuristic
+// (the initial-placement baseline of the paper's Exp 2a).
+func HeuristicPlacement(q *Query, c *Cluster, seed int64) (Placement, error) {
+	return placement.RandomValid(rand.New(rand.NewSource(seed)), q, c)
+}

@@ -1,0 +1,131 @@
+package costream
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	facadeOnce   sync.Once
+	facadeCorpus *Corpus
+	facadeModel  *Model
+	facadeErr    error
+)
+
+// facade builds one small corpus and model shared by the facade tests.
+func facade(t *testing.T) (*Corpus, *Model) {
+	t.Helper()
+	facadeOnce.Do(func() {
+		facadeCorpus, facadeErr = GenerateCorpus(250, 9)
+		if facadeErr != nil {
+			return
+		}
+		opts := DefaultTrainOptions()
+		opts.Epochs = 8
+		opts.EnsembleSize = 1
+		facadeModel, facadeErr = TrainModel(facadeCorpus, opts)
+	})
+	if facadeErr != nil {
+		t.Fatal(facadeErr)
+	}
+	return facadeCorpus, facadeModel
+}
+
+func exampleQuery(t *testing.T) *Query {
+	t.Helper()
+	b := NewQueryBuilder()
+	src := b.AddSource(1000, []DataType{TypeInt, TypeDouble})
+	f := b.AddFilter(FilterGT, TypeInt, 0.5)
+	sink := b.AddSink()
+	b.Chain(src, f, sink)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func exampleCluster() *Cluster {
+	return &Cluster{Hosts: []*Host{
+		{ID: "edge", CPU: 100, RAMMB: 2000, NetLatencyMS: 40, NetBandwidthMbps: 100},
+		{ID: "fog", CPU: 400, RAMMB: 8000, NetLatencyMS: 10, NetBandwidthMbps: 800},
+		{ID: "cloud", CPU: 800, RAMMB: 32000, NetLatencyMS: 1, NetBandwidthMbps: 10000},
+	}}
+}
+
+func TestExecute(t *testing.T) {
+	q := exampleQuery(t)
+	c := exampleCluster()
+	m, err := Execute(q, c, Placement{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Success {
+		t.Error("simple query should succeed")
+	}
+	if m.ThroughputTPS <= 0 {
+		t.Errorf("throughput = %v, want positive", m.ThroughputTPS)
+	}
+}
+
+func TestPredictAndOptimize(t *testing.T) {
+	_, model := facade(t)
+	q := exampleQuery(t)
+	c := exampleCluster()
+	costs, err := model.PredictCosts(q, c, Placement{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs.ProcLatencyMS < 0 || costs.ThroughputTPS < 0 {
+		t.Errorf("negative predicted costs: %+v", costs)
+	}
+	best, bestCosts, err := model.OptimizePlacement(q, c, 12, MinProcLatency, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best) != q.NumOps() {
+		t.Fatalf("placement length %d, want %d", len(best), q.NumOps())
+	}
+	if bestCosts.ProcLatencyMS < 0 {
+		t.Error("negative optimized latency")
+	}
+	// The chosen placement must be executable.
+	mm, err := Execute(q, c, best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mm.Success {
+		t.Error("optimized placement failed in execution")
+	}
+}
+
+func TestHeuristicPlacement(t *testing.T) {
+	q := exampleQuery(t)
+	c := exampleCluster()
+	p, err := HeuristicPlacement(q, c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(q, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainModelValidation(t *testing.T) {
+	if _, err := TrainModel(nil, DefaultTrainOptions()); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	if _, err := TrainModel(&Corpus{}, DefaultTrainOptions()); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+func TestGenerateCorpus(t *testing.T) {
+	c, err := GenerateCorpus(30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 30 {
+		t.Fatalf("corpus size %d, want 30", c.Len())
+	}
+}

@@ -1,0 +1,64 @@
+package costream_test
+
+import (
+	"fmt"
+
+	"costream"
+)
+
+// ExampleNewQueryBuilder demonstrates composing a windowed join query.
+func ExampleNewQueryBuilder() {
+	b := costream.NewQueryBuilder()
+	temps := b.AddSource(500, []costream.DataType{costream.TypeInt, costream.TypeDouble})
+	humid := b.AddSource(500, []costream.DataType{costream.TypeInt, costream.TypeDouble})
+	join := b.AddJoin(costream.TypeInt,
+		costream.Window{Type: costream.WindowTumbling, Policy: costream.WindowCountBased, Size: 100, Slide: 100},
+		0.001)
+	sink := b.AddSink()
+	b.Connect(temps, join).Connect(humid, join).Connect(join, sink)
+	q, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.Class(), q.NumOps())
+	// Output: 2-Way-Join 4
+}
+
+// ExampleExecute runs a query on the bundled execution simulator.
+func ExampleExecute() {
+	b := costream.NewQueryBuilder()
+	src := b.AddSource(1000, []costream.DataType{costream.TypeInt})
+	filt := b.AddFilter(costream.FilterGT, costream.TypeInt, 0.5)
+	sink := b.AddSink()
+	b.Chain(src, filt, sink)
+	q, _ := b.Build()
+
+	cluster := &costream.Cluster{Hosts: []*costream.Host{
+		{ID: "cloud", CPU: 800, RAMMB: 32000, NetLatencyMS: 1, NetBandwidthMbps: 10000},
+	}}
+	m, err := costream.Execute(q, cluster, costream.Placement{0, 0, 0})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("success=%v throughput=%.0f ev/s\n", m.Success, m.ThroughputTPS)
+	// Output: success=true throughput=500 ev/s
+}
+
+// ExampleHeuristicPlacement draws an initial placement under the paper's
+// IoT heuristics (co-location, increasing capability, acyclic).
+func ExampleHeuristicPlacement() {
+	b := costream.NewQueryBuilder()
+	src := b.AddSource(100, []costream.DataType{costream.TypeInt})
+	sink := b.AddSink()
+	b.Chain(src, sink)
+	q, _ := b.Build()
+	cluster := &costream.Cluster{Hosts: []*costream.Host{
+		{ID: "only", CPU: 400, RAMMB: 8000, NetLatencyMS: 5, NetBandwidthMbps: 800},
+	}}
+	p, err := costream.HeuristicPlacement(q, cluster, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p)
+	// Output: [0 0]
+}

@@ -1,0 +1,83 @@
+// Advertisement analytics: the DSPBench ad-analytics sub-query of the
+// paper's Exp 6 — a click stream filtered for bot traffic and joined with
+// an impression stream in a sliding time window. The example sweeps the
+// click rate and shows how the best placement (and whether the weak edge
+// can participate at all) changes with load, the central motivation for a
+// learned cost model for initial operator placement.
+//
+// Run with: go run ./examples/adanalytics
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"costream"
+)
+
+func adQuery(clickRate float64) (*costream.Query, error) {
+	b := costream.NewQueryBuilder()
+	clicks := b.AddSource(clickRate, []costream.DataType{
+		costream.TypeString, costream.TypeString, costream.TypeInt})
+	impressions := b.AddSource(clickRate*4, []costream.DataType{
+		costream.TypeString, costream.TypeString, costream.TypeInt,
+		costream.TypeDouble, costream.TypeString})
+	botFilter := b.AddFilter(costream.FilterNE, costream.TypeString, 0.4)
+	// Each click matches its impression inside the window.
+	sel := math.Min(1.0/(clickRate*4*8), 1e-2)
+	join := b.AddJoin(costream.TypeString,
+		costream.Window{Type: costream.WindowSliding, Policy: costream.WindowTimeBased, Size: 8, Slide: 4},
+		sel)
+	sink := b.AddSink()
+	b.Connect(clicks, botFilter).Connect(botFilter, join).Connect(impressions, join).Connect(join, sink)
+	return b.Build()
+}
+
+func main() {
+	log.SetFlags(0)
+
+	cluster := &costream.Cluster{Hosts: []*costream.Host{
+		{ID: "edge-pop", CPU: 200, RAMMB: 2000, NetLatencyMS: 20, NetBandwidthMbps: 200},
+		{ID: "regional", CPU: 400, RAMMB: 16000, NetLatencyMS: 5, NetBandwidthMbps: 1600},
+		{ID: "central", CPU: 800, RAMMB: 32000, NetLatencyMS: 1, NetBandwidthMbps: 10000},
+	}}
+
+	fmt.Println("training cost model on 700 generated traces...")
+	corpus, err := costream.GenerateCorpus(700, 55)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := costream.DefaultTrainOptions()
+	opts.Epochs = 18
+	opts.EnsembleSize = 1
+	model, err := costream.TrainModel(corpus, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nclick rate sweep (impressions = 4x clicks):")
+	for _, rate := range []float64{250, 1000, 2000} {
+		q, err := adQuery(rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, pred, err := model.OptimizePlacement(q, cluster, 20, costream.MaxThroughput, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		measured, err := costream.Execute(q, cluster, best)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hosts := ""
+		for i, h := range best {
+			if i > 0 {
+				hosts += ","
+			}
+			hosts += cluster.Hosts[h].ID
+		}
+		fmt.Printf("  %5.0f clicks/s -> placement [%s]\n", rate, hosts)
+		fmt.Printf("          predicted T %.1f ev/s | measured %v\n", pred.ThroughputTPS, measured)
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"costream/internal/dataset"
+	"costream/internal/hardware"
+	"costream/internal/placement"
+	"costream/internal/sim"
+	"costream/internal/stream"
+)
+
+// Ensemble combines several independently seeded models for one metric
+// (Section IV-A): predictions are averaged for regression metrics and
+// majority-voted for the binary metrics, reducing prediction uncertainty.
+type Ensemble struct {
+	Metric Metric
+	Models []*CostModel
+}
+
+// TrainEnsemble trains k models with different random initialization seeds
+// in parallel.
+func TrainEnsemble(train, val *dataset.Corpus, metric Metric, cfg TrainConfig, k int) (*Ensemble, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: ensemble size must be positive")
+	}
+	models := make([]*CostModel, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cfg
+			c.Seed = cfg.Seed + int64(i)*7919
+			models[i], errs[i] = Train(train, val, metric, c)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Ensemble{Metric: metric, Models: models}, nil
+}
+
+// PredictValue returns the ensemble's regression estimate (mean of member
+// predictions). It errors for classification metrics.
+func (e *Ensemble) PredictValue(q *stream.Query, c *hardware.Cluster, p sim.Placement) (float64, error) {
+	if !e.Metric.IsRegression() {
+		return 0, fmt.Errorf("core: %v is not a regression metric", e.Metric)
+	}
+	var sum float64
+	for _, m := range e.Models {
+		v, err := m.PredictRaw(q, c, p)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum / float64(len(e.Models)), nil
+}
+
+// PredictLabel returns the ensemble's majority vote for a binary metric.
+func (e *Ensemble) PredictLabel(q *stream.Query, c *hardware.Cluster, p sim.Placement) (bool, error) {
+	if e.Metric.IsRegression() {
+		return false, fmt.Errorf("core: %v is not a classification metric", e.Metric)
+	}
+	votes := 0
+	for _, m := range e.Models {
+		prob, err := m.PredictRaw(q, c, p)
+		if err != nil {
+			return false, err
+		}
+		if prob > 0.5 {
+			votes++
+		}
+	}
+	return votes*2 > len(e.Models), nil
+}
+
+// PredictTrace predicts for a stored trace: the mean value for regression
+// metrics or the majority-vote probability (vote fraction) for binary ones.
+func (e *Ensemble) PredictTrace(tr *dataset.Trace) (float64, error) {
+	if e.Metric.IsRegression() {
+		return e.PredictValue(tr.Query, tr.Cluster, tr.Placement)
+	}
+	label, err := e.PredictLabel(tr.Query, tr.Cluster, tr.Placement)
+	if err != nil {
+		return 0, err
+	}
+	if label {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// Predictor bundles the five per-metric ensembles into a full COSTREAM
+// cost predictor implementing placement.Predictor (Figure 4).
+type Predictor struct {
+	Throughput   *Ensemble
+	ProcLatency  *Ensemble
+	E2ELatency   *Ensemble
+	Backpressure *Ensemble
+	Success      *Ensemble
+}
+
+// PredictorConfig controls TrainPredictor.
+type PredictorConfig struct {
+	Train TrainConfig
+	// EnsembleSize is the number of models per metric (the paper uses 3).
+	EnsembleSize int
+	// Metrics restricts training to a subset; nil means all five.
+	Metrics []Metric
+}
+
+// TrainPredictor trains ensembles for the requested metrics.
+func TrainPredictor(train, val *dataset.Corpus, cfg PredictorConfig) (*Predictor, error) {
+	if cfg.EnsembleSize <= 0 {
+		cfg.EnsembleSize = 3
+	}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = AllMetrics()
+	}
+	pr := &Predictor{}
+	for _, m := range metrics {
+		e, err := TrainEnsemble(train, val, m, cfg.Train, cfg.EnsembleSize)
+		if err != nil {
+			return nil, fmt.Errorf("core: training %v: %w", m, err)
+		}
+		switch m {
+		case MetricThroughput:
+			pr.Throughput = e
+		case MetricProcLatency:
+			pr.ProcLatency = e
+		case MetricE2ELatency:
+			pr.E2ELatency = e
+		case MetricBackpressure:
+			pr.Backpressure = e
+		case MetricSuccess:
+			pr.Success = e
+		}
+	}
+	return pr, nil
+}
+
+// PredictPlacement implements placement.Predictor. Missing ensembles
+// default to optimistic sanity values (success, no backpressure) so a
+// predictor trained for a single target metric still drives optimization.
+func (pr *Predictor) PredictPlacement(q *stream.Query, c *hardware.Cluster, p sim.Placement) (placement.PredCosts, error) {
+	var out placement.PredCosts
+	var err error
+	out.Success = true
+	if pr.Throughput != nil {
+		if out.ThroughputTPS, err = pr.Throughput.PredictValue(q, c, p); err != nil {
+			return out, err
+		}
+	}
+	if pr.ProcLatency != nil {
+		if out.ProcLatencyMS, err = pr.ProcLatency.PredictValue(q, c, p); err != nil {
+			return out, err
+		}
+	}
+	if pr.E2ELatency != nil {
+		if out.E2ELatencyMS, err = pr.E2ELatency.PredictValue(q, c, p); err != nil {
+			return out, err
+		}
+	}
+	if pr.Backpressure != nil {
+		if out.Backpressured, err = pr.Backpressure.PredictLabel(q, c, p); err != nil {
+			return out, err
+		}
+	}
+	if pr.Success != nil {
+		if out.Success, err = pr.Success.PredictLabel(q, c, p); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"costream/internal/dataset"
+	"costream/internal/qerror"
+)
+
+// TracePredictor predicts a scalar for a stored trace: a raw cost value
+// for regression metrics or a positive-class score in [0,1] for binary
+// metrics. CostModel, Ensemble and the flat-vector baseline satisfy it.
+type TracePredictor interface {
+	PredictTrace(tr *dataset.Trace) (float64, error)
+}
+
+// EvaluateRegression computes q-error quantiles of the predictor against
+// the measured metric over the corpus's successful traces.
+func EvaluateRegression(p TracePredictor, c *dataset.Corpus, metric Metric) (qerror.Summary, error) {
+	if !metric.IsRegression() {
+		return qerror.Summary{}, fmt.Errorf("core: %v is not a regression metric", metric)
+	}
+	var truths, preds []float64
+	for _, tr := range c.Traces {
+		if !tr.Metrics.Success {
+			continue
+		}
+		v, err := p.PredictTrace(tr)
+		if err != nil {
+			return qerror.Summary{}, err
+		}
+		truths = append(truths, metric.Value(tr.Metrics))
+		preds = append(preds, v)
+	}
+	return qerror.Summarize(truths, preds)
+}
+
+// EvaluateClassification computes accuracy of the predictor for a binary
+// metric over the corpus (balance the corpus first to match the paper's
+// reporting).
+func EvaluateClassification(p TracePredictor, c *dataset.Corpus, metric Metric) (float64, error) {
+	if metric.IsRegression() {
+		return 0, fmt.Errorf("core: %v is not a classification metric", metric)
+	}
+	var truths, preds []bool
+	for _, tr := range c.Traces {
+		score, err := p.PredictTrace(tr)
+		if err != nil {
+			return 0, err
+		}
+		truths = append(truths, metric.Label(tr.Metrics))
+		preds = append(preds, score > 0.5)
+	}
+	return qerror.Accuracy(truths, preds)
+}

@@ -1,0 +1,305 @@
+// Package core implements the COSTREAM cost model: the transferable
+// featurization of Table I, the construction of the joint
+// operator-resource graph, training of per-metric GNN models (throughput,
+// processing latency, end-to-end latency as regression; backpressure and
+// query success as classification), seed ensembles with mean/majority-vote
+// aggregation, and few-shot fine-tuning.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"costream/internal/gnn"
+	"costream/internal/hardware"
+	"costream/internal/sim"
+	"costream/internal/stream"
+)
+
+// FeatureMode selects the featurization for the Exp 7a ablation.
+type FeatureMode int
+
+// Featurization modes.
+const (
+	// FeatFull is COSTREAM's featurization: host nodes with hardware
+	// features plus placement edges.
+	FeatFull FeatureMode = iota
+	// FeatPlacementOnly keeps host nodes and placement/co-location
+	// structure but blinds the model to hardware features.
+	FeatPlacementOnly
+	// FeatQueryOnly drops host nodes entirely: the model sees only the
+	// query logic and data characteristics.
+	FeatQueryOnly
+)
+
+func (m FeatureMode) String() string {
+	switch m {
+	case FeatFull:
+		return "full"
+	case FeatPlacementOnly:
+		return "placement-only"
+	case FeatQueryOnly:
+		return "query-only"
+	default:
+		return fmt.Sprintf("FeatureMode(%d)", int(m))
+	}
+}
+
+// Featurizer converts (query, cluster, placement) triples into joint
+// operator-resource graphs with transferable feature vectors. The
+// normalization constants are fixed (not fitted to a dataset), which is
+// what makes the features transferable across workloads and hardware.
+type Featurizer struct {
+	Mode FeatureMode
+}
+
+// Feature vector dimensions per node kind.
+const (
+	// Common operator features: tuple width in/out, tuple bytes in/out,
+	// and the derived logical arrival/output rates. The rates follow
+	// from the source event rates and annotated selectivities
+	// (Section IV-B: "derive the tuple arrival rates for operators
+	// further downstream") and are therefore available before execution.
+	commonDim = 6
+	sourceDim = 6 + commonDim  // rate, width, type fractions, avg bytes
+	filterDim = 12 + commonDim // fn one-hot(7), literal one-hot(3), sel, log-sel
+	joinDim   = 12 + commonDim // key one-hot(3), sel, log-sel, window(5), extent(2)
+	aggDim    = 20 + commonDim // fn(4), value(3), group-by(4), sel, log-sel, window(5), extent(2)
+	sinkDim   = 1 + commonDim
+	hostDim   = 4 // cpu, ram, bandwidth, latency
+)
+
+// FeatDims returns the per-kind feature dimensions for model construction.
+func (f *Featurizer) FeatDims() map[gnn.NodeKind]int {
+	return map[gnn.NodeKind]int{
+		gnn.KindSource:    sourceDim,
+		gnn.KindFilter:    filterDim,
+		gnn.KindJoin:      joinDim,
+		gnn.KindAggregate: aggDim,
+		gnn.KindSink:      sinkDim,
+		gnn.KindHost:      hostDim,
+	}
+}
+
+// Fixed normalization helpers. All are log-scaled against the bottom of
+// the Table II training grids so that in-range values map roughly to
+// [0, 1] and out-of-range values extrapolate smoothly beyond.
+func normRate(rate float64) float64 {
+	return math.Log2(math.Max(rate, 1)/20) / 10.32
+}
+
+func normSel(sel float64) float64 {
+	return math.Log10(sel+1e-6)/6 + 1
+}
+
+func normCountSize(size float64) float64 {
+	return math.Log2(math.Max(size, 1)) / 9.33
+}
+
+func normTimeSize(size float64) float64 {
+	return math.Log2(math.Max(size, 0.05)/0.25) / 6
+}
+
+func normCPU(cpu float64) float64 {
+	return math.Log2(math.Max(cpu, 10)/50) / 4
+}
+
+func normRAM(ramMB float64) float64 {
+	return math.Log2(math.Max(ramMB, 100)/1000) / 5
+}
+
+func normBW(bwMbps float64) float64 {
+	return math.Log2(math.Max(bwMbps, 1)/25) / 8.64
+}
+
+func normLat(latMS float64) float64 {
+	return math.Log2(math.Max(latMS, 0.25)/0.25) / 9.32
+}
+
+func normWidth(w int) float64     { return float64(w) / 10 }
+func normBytes(b float64) float64 { return b / 400 }
+
+// windowExtentFeatures derives the window extent in seconds and tuples
+// from the operator's logical arrival rate; both follow from annotated
+// selectivities and source rates, so they are available pre-execution.
+// The seconds extent drives latency (a firing window's oldest tuple is a
+// full extent old), the tuple extent drives state size and memory.
+func windowExtentFeatures(w *stream.Window, arrivalRate float64) []float64 {
+	if w == nil {
+		return []float64{0, 0}
+	}
+	return []float64{
+		normTimeSize(w.ExtentSeconds(arrivalRate)),
+		normCountSize(w.ExtentTuples(arrivalRate)),
+	}
+}
+
+// windowFeatures encodes a window specification in 5 transferable values.
+func windowFeatures(w *stream.Window) []float64 {
+	if w == nil {
+		return []float64{0, 0, 0, 0, 0}
+	}
+	isSliding, isCount := 0.0, 0.0
+	countSize, timeSize := 0.0, 0.0
+	if w.Type == stream.WindowSliding {
+		isSliding = 1
+	}
+	if w.Policy == stream.WindowCountBased {
+		isCount = 1
+		countSize = normCountSize(w.Size)
+	} else {
+		timeSize = normTimeSize(w.Size)
+	}
+	slideRatio := 1.0
+	if w.Size > 0 {
+		slideRatio = w.Slide / w.Size
+	}
+	return []float64{isSliding, isCount, countSize, timeSize, slideRatio}
+}
+
+func oneHot(n, idx int) []float64 {
+	v := make([]float64, n)
+	if idx >= 0 && idx < n {
+		v[idx] = 1
+	}
+	return v
+}
+
+// BuildGraph constructs the joint operator-resource graph of Section III
+// for the given query, cluster and placement. For FeatQueryOnly the
+// placement may be nil.
+func (f *Featurizer) BuildGraph(q *stream.Query, c *hardware.Cluster, p sim.Placement) (*gnn.Graph, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	rates, err := q.DeriveRates()
+	if err != nil {
+		return nil, err
+	}
+	g := &gnn.Graph{}
+	for i, op := range q.Ops {
+		feat, kind, err := f.opFeatures(q, rates, i, op)
+		if err != nil {
+			return nil, err
+		}
+		g.Nodes = append(g.Nodes, gnn.Node{Kind: kind, Feat: feat})
+	}
+	for _, e := range q.Edges {
+		g.FlowEdges = append(g.FlowEdges, e)
+	}
+	if f.Mode == FeatQueryOnly {
+		return g, nil
+	}
+	if c == nil {
+		return nil, fmt.Errorf("core: cluster required for %v featurization", f.Mode)
+	}
+	if err := p.Validate(q, c); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	// One host node per distinct host used by the placement.
+	hostNode := make(map[int]int)
+	for opIdx, h := range p {
+		node, ok := hostNode[h]
+		if !ok {
+			node = len(g.Nodes)
+			hostNode[h] = node
+			g.Nodes = append(g.Nodes, gnn.Node{Kind: gnn.KindHost, Feat: f.hostFeatures(c.Hosts[h])})
+		}
+		g.PlaceEdges = append(g.PlaceEdges, [2]int{opIdx, node})
+	}
+	return g, nil
+}
+
+func (f *Featurizer) hostFeatures(h *hardware.Host) []float64 {
+	if f.Mode == FeatPlacementOnly {
+		// Placement structure without hardware knowledge: a constant
+		// vector. Messages still carry co-location information.
+		return []float64{1, 0, 0, 0}
+	}
+	return []float64{
+		normCPU(h.CPU),
+		normRAM(h.RAMMB),
+		normBW(h.NetBandwidthMbps),
+		normLat(h.NetLatencyMS),
+	}
+}
+
+func (f *Featurizer) opFeatures(q *stream.Query, rates *stream.Rates, i int, op *stream.Operator) ([]float64, gnn.NodeKind, error) {
+	// Common features (Table I "all" rows): averaged incoming and
+	// outgoing tuple width plus serialized sizes.
+	widthIn, bytesIn := 0.0, 0.0
+	if ups := q.Upstream(i); len(ups) > 0 {
+		for _, u := range ups {
+			widthIn += float64(rates.Width[u])
+			bytesIn += rates.TupleBytes[u]
+		}
+		widthIn /= float64(len(ups))
+		bytesIn /= float64(len(ups))
+	} else {
+		widthIn = float64(rates.Width[i])
+		bytesIn = rates.TupleBytes[i]
+	}
+	inRate := rates.In[i]
+	if op.Type == stream.OpSource {
+		inRate = op.EventRate
+	}
+	common := []float64{
+		widthIn / 10,
+		normWidth(rates.Width[i]),
+		normBytes(bytesIn),
+		normBytes(rates.TupleBytes[i]),
+		normRate(inRate),
+		normRate(rates.Out[i]),
+	}
+	switch op.Type {
+	case stream.OpSource:
+		var nInt, nStr, nDbl float64
+		for _, t := range op.FieldTypes {
+			switch t {
+			case stream.TypeInt:
+				nInt++
+			case stream.TypeString:
+				nStr++
+			default:
+				nDbl++
+			}
+		}
+		total := float64(len(op.FieldTypes))
+		feat := []float64{
+			normRate(op.EventRate),
+			normWidth(len(op.FieldTypes)),
+			nInt / total, nStr / total, nDbl / total,
+			stream.AvgFieldBytes(op.FieldTypes) / 32,
+		}
+		return append(feat, common...), gnn.KindSource, nil
+	case stream.OpFilter:
+		feat := oneHot(7, int(op.FilterFn))
+		feat = append(feat, oneHot(3, int(op.LiteralType))...)
+		feat = append(feat, op.Selectivity, normSel(op.Selectivity))
+		return append(feat, common...), gnn.KindFilter, nil
+	case stream.OpJoin:
+		feat := oneHot(3, int(op.JoinKeyType))
+		feat = append(feat, op.Selectivity, normSel(op.Selectivity))
+		feat = append(feat, windowFeatures(op.Window)...)
+		// Joins window each input stream separately; use the mean
+		// per-stream rate for the extent.
+		feat = append(feat, windowExtentFeatures(op.Window, inRate/2)...)
+		return append(feat, common...), gnn.KindJoin, nil
+	case stream.OpAggregate:
+		feat := oneHot(4, int(op.AggFn))
+		feat = append(feat, oneHot(3, int(op.AggValueType))...)
+		gb := 3 // "none"
+		if op.HasGroupBy {
+			gb = int(op.GroupByType)
+		}
+		feat = append(feat, oneHot(4, gb)...)
+		feat = append(feat, op.Selectivity, normSel(op.Selectivity))
+		feat = append(feat, windowFeatures(op.Window)...)
+		feat = append(feat, windowExtentFeatures(op.Window, inRate)...)
+		return append(feat, common...), gnn.KindAggregate, nil
+	case stream.OpSink:
+		return append([]float64{1}, common...), gnn.KindSink, nil
+	default:
+		return nil, 0, fmt.Errorf("core: unknown operator type %v", op.Type)
+	}
+}

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"costream/internal/dataset"
+	"costream/internal/gnn"
+	"costream/internal/hardware"
+	"costream/internal/nn"
+	"costream/internal/sim"
+	"costream/internal/stream"
+)
+
+// Metric identifies one of the five cost metrics of Section IV-A.
+type Metric int
+
+// Cost metrics.
+const (
+	MetricThroughput Metric = iota
+	MetricProcLatency
+	MetricE2ELatency
+	MetricBackpressure
+	MetricSuccess
+)
+
+var metricNames = [...]string{"throughput", "proc-latency", "e2e-latency", "backpressure", "success"}
+
+func (m Metric) String() string {
+	if m < 0 || int(m) >= len(metricNames) {
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+	return metricNames[m]
+}
+
+// AllMetrics lists the five cost metrics in paper order.
+func AllMetrics() []Metric {
+	return []Metric{MetricThroughput, MetricProcLatency, MetricE2ELatency, MetricBackpressure, MetricSuccess}
+}
+
+// IsRegression reports whether the metric is modeled as a regression task
+// (true) or binary classification (false).
+func (m Metric) IsRegression() bool {
+	return m == MetricThroughput || m == MetricProcLatency || m == MetricE2ELatency
+}
+
+// Value extracts the raw regression target from measured metrics.
+func (m Metric) Value(mt *sim.Metrics) float64 {
+	switch m {
+	case MetricThroughput:
+		return mt.ThroughputTPS
+	case MetricProcLatency:
+		return mt.ProcLatencyMS
+	case MetricE2ELatency:
+		return mt.E2ELatencyMS
+	default:
+		return 0
+	}
+}
+
+// Label extracts the binary classification target. Following the natural
+// encoding, MetricBackpressure is true when backpressure occurred and
+// MetricSuccess is true when the query succeeded. (The paper's RO flag is
+// inverted — RO=0 on occurrence; we keep booleans meaningful and translate
+// at reporting time.)
+func (m Metric) Label(mt *sim.Metrics) bool {
+	switch m {
+	case MetricBackpressure:
+		return mt.Backpressured
+	case MetricSuccess:
+		return mt.Success
+	default:
+		return false
+	}
+}
+
+// TrainConfig controls model training.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      int64
+	// Patience is the early-stopping patience in epochs on the
+	// validation loss; 0 disables early stopping.
+	Patience int
+	// Hidden overrides the GNN hidden width (0 = default).
+	Hidden int
+	// Mode selects the featurization (Exp 7a ablation).
+	Mode FeatureMode
+	// Traditional selects the ablation message passing (Exp 7b).
+	Traditional bool
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DefaultTrainConfig returns the training setup used by the experiments.
+func DefaultTrainConfig(seed int64) TrainConfig {
+	return TrainConfig{
+		Epochs:    40,
+		BatchSize: 16,
+		LR:        3e-3,
+		Seed:      seed,
+		Patience:  8,
+	}
+}
+
+// CostModel is one trained COSTREAM model for one cost metric.
+type CostModel struct {
+	Metric Metric
+	Feat   Featurizer
+	Net    *gnn.Model
+}
+
+type sample struct {
+	graph *gnn.Graph
+	y     float64 // log1p cost for regression, 0/1 for classification
+	w     float64 // loss weight (class balancing)
+}
+
+// buildSamples featurizes the corpus for the metric. Regression uses only
+// successful traces (failed executions have no defined latency or
+// throughput); classification uses every trace with inverse-frequency
+// class weights.
+func buildSamples(f *Featurizer, c *dataset.Corpus, metric Metric) ([]sample, error) {
+	var samples []sample
+	if metric.IsRegression() {
+		for _, tr := range c.Traces {
+			if !tr.Metrics.Success {
+				continue
+			}
+			g, err := f.BuildGraph(tr.Query, tr.Cluster, tr.Placement)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, sample{graph: g, y: math.Log1p(metric.Value(tr.Metrics)), w: 1})
+		}
+		return samples, nil
+	}
+	nPos, nNeg := 0, 0
+	for _, tr := range c.Traces {
+		if metric.Label(tr.Metrics) {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	total := float64(nPos + nNeg)
+	wPos, wNeg := 1.0, 1.0
+	if nPos > 0 && nNeg > 0 {
+		wPos = total / (2 * float64(nPos))
+		wNeg = total / (2 * float64(nNeg))
+	}
+	for _, tr := range c.Traces {
+		g, err := f.BuildGraph(tr.Query, tr.Cluster, tr.Placement)
+		if err != nil {
+			return nil, err
+		}
+		y, w := 0.0, wNeg
+		if metric.Label(tr.Metrics) {
+			y, w = 1, wPos
+		}
+		samples = append(samples, sample{graph: g, y: y, w: w})
+	}
+	return samples, nil
+}
+
+func (cm *CostModel) loss(t *nn.Tape, s sample) (*nn.Node, error) {
+	out, err := cm.Net.Forward(t, s.graph)
+	if err != nil {
+		return nil, err
+	}
+	var l *nn.Node
+	if cm.Metric.IsRegression() {
+		// Targets are already in log1p space, so squared error here is
+		// exactly the paper's MSLE.
+		l = nn.MSLELoss(t, out, math.Expm1(s.y))
+	} else {
+		l = nn.BCEWithLogitsLoss(t, out, s.y)
+	}
+	if s.w != 1 {
+		l = t.Scale(l, s.w)
+	}
+	return l, nil
+}
+
+func meanLoss(cm *CostModel, samples []sample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for _, s := range samples {
+		t := nn.NewTape()
+		l, err := cm.loss(t, s)
+		if err != nil {
+			return 0, err
+		}
+		sum += l.Data[0]
+	}
+	return sum / float64(len(samples)), nil
+}
+
+// Train trains a COSTREAM model for the metric on the training corpus,
+// early-stopping on the validation corpus.
+func Train(train, val *dataset.Corpus, metric Metric, cfg TrainConfig) (*CostModel, error) {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.LR <= 0 {
+		return nil, fmt.Errorf("core: invalid training config %+v", cfg)
+	}
+	feat := Featurizer{Mode: cfg.Mode}
+	gcfg := gnn.DefaultConfig(feat.FeatDims())
+	if cfg.Hidden > 0 {
+		gcfg.Hidden = cfg.Hidden
+	}
+	gcfg.Traditional = cfg.Traditional
+	net, err := gnn.New(gcfg, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cm := &CostModel{Metric: metric, Feat: feat, Net: net}
+
+	trainSamples, err := buildSamples(&feat, train, metric)
+	if err != nil {
+		return nil, err
+	}
+	if len(trainSamples) == 0 {
+		return nil, fmt.Errorf("core: no usable training traces for %v", metric)
+	}
+	var valSamples []sample
+	if val != nil {
+		valSamples, err = buildSamples(&feat, val, metric)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := cm.fit(trainSamples, valSamples, cfg); err != nil {
+		return nil, err
+	}
+	return cm, nil
+}
+
+// fit runs the minibatch Adam loop with optional early stopping.
+func (cm *CostModel) fit(trainSamples, valSamples []sample, cfg TrainConfig) error {
+	params, grads := cm.Net.Params()
+	opt := nn.NewAdam(cfg.LR, params, grads)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5EED))
+
+	best := math.Inf(1)
+	bestParams := snapshot(params)
+	badEpochs := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(trainSamples), func(i, j int) {
+			trainSamples[i], trainSamples[j] = trainSamples[j], trainSamples[i]
+		})
+		var epochLoss float64
+		for start := 0; start < len(trainSamples); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(trainSamples) {
+				end = len(trainSamples)
+			}
+			opt.ZeroGrads()
+			for _, s := range trainSamples[start:end] {
+				t := nn.NewTape()
+				l, err := cm.loss(t, s)
+				if err != nil {
+					return err
+				}
+				// Average gradients over the batch.
+				l = t.Scale(l, 1/float64(end-start))
+				epochLoss += l.Data[0]
+				t.Backward(l)
+			}
+			opt.Step()
+			opt.ZeroGrads()
+		}
+		monitored := epochLoss / float64((len(trainSamples)+cfg.BatchSize-1)/cfg.BatchSize)
+		if len(valSamples) > 0 {
+			vl, err := meanLoss(cm, valSamples)
+			if err != nil {
+				return err
+			}
+			monitored = vl
+		}
+		if cfg.Logf != nil {
+			cfg.Logf("metric=%v epoch=%d loss=%.4f", cm.Metric, epoch, monitored)
+		}
+		if monitored < best-1e-6 {
+			best = monitored
+			copyInto(bestParams, params)
+			badEpochs = 0
+		} else if cfg.Patience > 0 {
+			badEpochs++
+			if badEpochs >= cfg.Patience {
+				break
+			}
+		}
+	}
+	restore(params, bestParams)
+	return nil
+}
+
+// FineTune continues training on additional traces (few-shot learning,
+// Exp 5b). The model is updated in place.
+func (cm *CostModel) FineTune(extra *dataset.Corpus, cfg TrainConfig) error {
+	samples, err := buildSamples(&cm.Feat, extra, cm.Metric)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("core: no usable fine-tuning traces for %v", cm.Metric)
+	}
+	return cm.fit(samples, nil, cfg)
+}
+
+func snapshot(params [][]float64) [][]float64 {
+	cp := make([][]float64, len(params))
+	for i, p := range params {
+		cp[i] = append([]float64(nil), p...)
+	}
+	return cp
+}
+
+func copyInto(dst, src [][]float64) {
+	for i := range src {
+		copy(dst[i], src[i])
+	}
+}
+
+func restore(params, saved [][]float64) {
+	for i := range params {
+		copy(params[i], saved[i])
+	}
+}
+
+// PredictRaw returns the model's raw output for a placement: the predicted
+// cost value for regression metrics, or the positive-class probability for
+// classification metrics.
+func (cm *CostModel) PredictRaw(q *stream.Query, c *hardware.Cluster, p sim.Placement) (float64, error) {
+	g, err := cm.Feat.BuildGraph(q, c, p)
+	if err != nil {
+		return 0, err
+	}
+	return cm.predictGraph(g)
+}
+
+func (cm *CostModel) predictGraph(g *gnn.Graph) (float64, error) {
+	t := nn.NewTape()
+	out, err := cm.Net.Forward(t, g)
+	if err != nil {
+		return 0, err
+	}
+	if cm.Metric.IsRegression() {
+		return nn.ExpM1(out.Data[0]), nil
+	}
+	return nn.SigmoidScalar(out.Data[0]), nil
+}
+
+// PredictTrace predicts the model's metric for a stored trace.
+func (cm *CostModel) PredictTrace(tr *dataset.Trace) (float64, error) {
+	return cm.PredictRaw(tr.Query, tr.Cluster, tr.Placement)
+}

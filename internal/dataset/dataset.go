@@ -1,0 +1,284 @@
+// Package dataset defines the cost-estimation benchmark corpus of the
+// paper (Section VI): traces of query executions on heterogeneous hardware
+// with their measured cost metrics, train/validation/test splits, balanced
+// subsets for the classification metrics and JSON persistence.
+package dataset
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+
+	"costream/internal/hardware"
+	"costream/internal/placement"
+	"costream/internal/sim"
+	"costream/internal/stream"
+	"costream/internal/workload"
+)
+
+// Trace is one benchmark entry: a query, the hardware landscape, the
+// operator placement, and the cost metrics measured by executing it.
+type Trace struct {
+	Query     *stream.Query     `json:"query"`
+	Cluster   *hardware.Cluster `json:"cluster"`
+	Placement sim.Placement     `json:"placement"`
+	Metrics   *sim.Metrics      `json:"metrics"`
+}
+
+// Corpus is an ordered collection of traces.
+type Corpus struct {
+	Traces []*Trace `json:"traces"`
+}
+
+// Len returns the number of traces.
+func (c *Corpus) Len() int { return len(c.Traces) }
+
+// Split partitions the corpus into train/validation/test subsets with the
+// given fractions (the remainder goes to test), shuffling deterministically
+// with the seed. The paper uses 80/10/10.
+func (c *Corpus) Split(trainFrac, valFrac float64, seed int64) (train, val, test *Corpus) {
+	idx := rand.New(rand.NewSource(seed)).Perm(len(c.Traces))
+	nTrain := int(trainFrac * float64(len(idx)))
+	nVal := int(valFrac * float64(len(idx)))
+	train, val, test = &Corpus{}, &Corpus{}, &Corpus{}
+	for i, j := range idx {
+		switch {
+		case i < nTrain:
+			train.Traces = append(train.Traces, c.Traces[j])
+		case i < nTrain+nVal:
+			val.Traces = append(val.Traces, c.Traces[j])
+		default:
+			test.Traces = append(test.Traces, c.Traces[j])
+		}
+	}
+	return train, val, test
+}
+
+// Filter returns the traces satisfying the predicate.
+func (c *Corpus) Filter(keep func(*Trace) bool) *Corpus {
+	out := &Corpus{}
+	for _, t := range c.Traces {
+		if keep(t) {
+			out.Traces = append(out.Traces, t)
+		}
+	}
+	return out
+}
+
+// Successful returns the traces whose execution succeeded; regression
+// models are trained on these (failed runs have no defined latency or
+// throughput).
+func (c *Corpus) Successful() *Corpus {
+	return c.Filter(func(t *Trace) bool { return t.Metrics.Success })
+}
+
+// Balanced returns a label-balanced subset for a binary metric, as the
+// paper does for the classification test sets: equally many positive and
+// negative traces, subsampled deterministically.
+func (c *Corpus) Balanced(label func(*Trace) bool, seed int64) *Corpus {
+	var pos, neg []*Trace
+	for _, t := range c.Traces {
+		if label(t) {
+			pos = append(pos, t)
+		} else {
+			neg = append(neg, t)
+		}
+	}
+	n := len(pos)
+	if len(neg) < n {
+		n = len(neg)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	out := &Corpus{}
+	out.Traces = append(out.Traces, pos[:n]...)
+	out.Traces = append(out.Traces, neg[:n]...)
+	return out
+}
+
+// Save writes the corpus as gzip-compressed JSON.
+func (c *Corpus) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := json.NewEncoder(zw).Encode(c); err != nil {
+		zw.Close()
+		return fmt.Errorf("dataset: encoding corpus: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a corpus written by Save.
+func Load(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s is not a corpus file: %w", path, err)
+	}
+	defer zr.Close()
+	var c Corpus
+	if err := json.NewDecoder(zr).Decode(&c); err != nil {
+		return nil, fmt.Errorf("dataset: decoding corpus: %w", err)
+	}
+	return &c, nil
+}
+
+// BuildConfig controls corpus generation.
+type BuildConfig struct {
+	// N is the number of traces to generate.
+	N int
+	// Seed drives workload sampling, placements and simulator noise.
+	Seed int64
+	// Gen configures the workload generator.
+	Gen workload.Config
+	// Sim configures the execution simulator.
+	Sim sim.Config
+	// Parallelism bounds worker goroutines; 0 means GOMAXPROCS.
+	Parallelism int
+	// QueryFn optionally overrides the query sampler (for special
+	// corpora such as filter chains or benchmark queries). It is called
+	// with a dedicated generator and the trace index.
+	QueryFn func(g *workload.Generator, i int) *stream.Query
+	// ClusterFn optionally overrides the cluster sampler.
+	ClusterFn func(g *workload.Generator, i int) *hardware.Cluster
+}
+
+// Build generates a corpus by sampling (query, cluster, placement) triples
+// and executing them on the simulator. Generation is deterministic in the
+// seed regardless of parallelism: every trace derives its own generator and
+// simulator seed.
+func Build(cfg BuildConfig) (*Corpus, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("dataset: N must be positive")
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	traces := make([]*Trace, cfg.N)
+	errs := make([]error, cfg.N)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < cfg.N; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			traces[i], errs[i] = buildOne(cfg, i)
+		}(i)
+	}
+	wg.Wait()
+	out := &Corpus{Traces: make([]*Trace, 0, cfg.N)}
+	for i, t := range traces {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("dataset: trace %d: %w", i, errs[i])
+		}
+		out.Traces = append(out.Traces, t)
+	}
+	return out, nil
+}
+
+func buildOne(cfg BuildConfig, i int) (*Trace, error) {
+	genCfg := cfg.Gen
+	genCfg.Seed = cfg.Seed*1_000_003 + int64(i)
+	g := workload.New(genCfg)
+	var q *stream.Query
+	if cfg.QueryFn != nil {
+		q = cfg.QueryFn(g, i)
+	} else {
+		q = g.Query()
+	}
+	var c *hardware.Cluster
+	if cfg.ClusterFn != nil {
+		c = cfg.ClusterFn(g, i)
+	} else {
+		c = g.Cluster()
+	}
+	rng := rand.New(rand.NewSource(genCfg.Seed ^ 0x9E3779B9))
+	p, err := placement.RandomValid(rng, q, c)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := cfg.Sim
+	simCfg.Seed = genCfg.Seed ^ 0x51ED2701
+	m, err := sim.Run(q, c, p, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{Query: q, Cluster: c, Placement: p, Metrics: m}, nil
+}
+
+// Stats summarizes label distributions of a corpus, useful for sanity
+// checks and reports.
+type Stats struct {
+	N             int
+	SuccessRate   float64
+	BackpressRate float64
+	CrashRate     float64
+	MedianT       float64
+	MedianLpMS    float64
+	MedianLeMS    float64
+}
+
+// Summarize computes corpus statistics.
+func (c *Corpus) Summarize() Stats {
+	s := Stats{N: len(c.Traces)}
+	if s.N == 0 {
+		return s
+	}
+	var ts, lps, les []float64
+	for _, t := range c.Traces {
+		if t.Metrics.Success {
+			s.SuccessRate++
+			ts = append(ts, t.Metrics.ThroughputTPS)
+			lps = append(lps, t.Metrics.ProcLatencyMS)
+			les = append(les, t.Metrics.E2ELatencyMS)
+		}
+		if t.Metrics.Backpressured {
+			s.BackpressRate++
+		}
+		if t.Metrics.Crashed {
+			s.CrashRate++
+		}
+	}
+	n := float64(s.N)
+	s.SuccessRate /= n
+	s.BackpressRate /= n
+	s.CrashRate /= n
+	s.MedianT = median(ts)
+	s.MedianLpMS = median(lps)
+	s.MedianLeMS = median(les)
+	return s
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	if len(cp)%2 == 1 {
+		return cp[len(cp)/2]
+	}
+	return (cp[len(cp)/2-1] + cp[len(cp)/2]) / 2
+}

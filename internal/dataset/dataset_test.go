@@ -1,0 +1,205 @@
+package dataset
+
+import (
+	"path/filepath"
+	"testing"
+
+	"costream/internal/sim"
+	"costream/internal/stream"
+	"costream/internal/workload"
+)
+
+func buildCfg(n int, seed int64) BuildConfig {
+	simCfg := sim.DefaultConfig()
+	simCfg.DurationS, simCfg.WarmupS = 20, 4
+	return BuildConfig{
+		N:    n,
+		Seed: seed,
+		Gen:  workload.DefaultConfig(seed),
+		Sim:  simCfg,
+	}
+}
+
+func TestBuildCorpus(t *testing.T) {
+	c, err := Build(buildCfg(60, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 60 {
+		t.Fatalf("Len = %d, want 60", c.Len())
+	}
+	for i, tr := range c.Traces {
+		if tr.Query == nil || tr.Cluster == nil || tr.Metrics == nil {
+			t.Fatalf("trace %d incomplete", i)
+		}
+		if err := tr.Placement.Validate(tr.Query, tr.Cluster); err != nil {
+			t.Fatalf("trace %d: %v", i, err)
+		}
+	}
+	st := c.Summarize()
+	if st.SuccessRate <= 0.3 {
+		t.Errorf("success rate %v suspiciously low", st.SuccessRate)
+	}
+	if st.SuccessRate > 0.999 {
+		t.Log("note: no failing traces in this small corpus")
+	}
+}
+
+func TestBuildDeterministicAcrossParallelism(t *testing.T) {
+	cfg1 := buildCfg(20, 7)
+	cfg1.Parallelism = 1
+	cfg2 := buildCfg(20, 7)
+	cfg2.Parallelism = 8
+	c1, err := Build(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Build(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c1.Traces {
+		m1, m2 := c1.Traces[i].Metrics, c2.Traces[i].Metrics
+		if m1.ThroughputTPS != m2.ThroughputTPS || m1.ProcLatencyMS != m2.ProcLatencyMS {
+			t.Fatalf("trace %d differs across parallelism: %v vs %v", i, m1, m2)
+		}
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	c, err := Build(buildCfg(100, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val, test := c.Split(0.8, 0.1, 3)
+	if train.Len() != 80 || val.Len() != 10 || test.Len() != 10 {
+		t.Fatalf("split sizes %d/%d/%d, want 80/10/10", train.Len(), val.Len(), test.Len())
+	}
+	// Disjointness by pointer identity.
+	seen := map[*Trace]bool{}
+	for _, s := range []*Corpus{train, val, test} {
+		for _, tr := range s.Traces {
+			if seen[tr] {
+				t.Fatal("trace appears in two splits")
+			}
+			seen[tr] = true
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("splits cover %d traces, want 100", len(seen))
+	}
+}
+
+func TestBalanced(t *testing.T) {
+	c, err := Build(buildCfg(80, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := func(tr *Trace) bool { return tr.Metrics.Backpressured }
+	b := c.Balanced(label, 4)
+	pos, neg := 0, 0
+	for _, tr := range b.Traces {
+		if label(tr) {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos != neg {
+		t.Errorf("balanced subset has %d pos, %d neg", pos, neg)
+	}
+}
+
+func TestSuccessfulFilter(t *testing.T) {
+	c, err := Build(buildCfg(60, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Successful()
+	for _, tr := range s.Traces {
+		if !tr.Metrics.Success {
+			t.Fatal("Successful returned a failed trace")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c, err := Build(buildCfg(15, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.json.gz")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != c.Len() {
+		t.Fatalf("loaded %d traces, want %d", c2.Len(), c.Len())
+	}
+	for i := range c.Traces {
+		a, b := c.Traces[i], c2.Traces[i]
+		if a.Metrics.ThroughputTPS != b.Metrics.ThroughputTPS {
+			t.Fatalf("trace %d throughput differs after round trip", i)
+		}
+		if len(a.Query.Ops) != len(b.Query.Ops) {
+			t.Fatalf("trace %d query differs after round trip", i)
+		}
+		for j := range a.Query.Ops {
+			oa, ob := a.Query.Ops[j], b.Query.Ops[j]
+			if oa.Type != ob.Type || oa.Selectivity != ob.Selectivity {
+				t.Fatalf("trace %d op %d differs", i, j)
+			}
+			if (oa.Window == nil) != (ob.Window == nil) {
+				t.Fatalf("trace %d op %d window presence differs", i, j)
+			}
+		}
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json.gz")); err == nil {
+		t.Error("loading missing file must fail")
+	}
+}
+
+func TestQueryFnOverride(t *testing.T) {
+	cfg := buildCfg(10, 6)
+	cfg.QueryFn = func(g *workload.Generator, i int) *stream.Query {
+		return g.FilterChain(3)
+	}
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range c.Traces {
+		if tr.Query.CountType(stream.OpFilter) != 3 {
+			t.Fatal("QueryFn not honored")
+		}
+	}
+}
+
+func TestBuildRejectsBadConfig(t *testing.T) {
+	if _, err := Build(BuildConfig{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	var c Corpus
+	st := c.Summarize()
+	if st.N != 0 || st.SuccessRate != 0 {
+		t.Error("empty corpus summary must be zero")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("median odd = %v, want 2", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("median even = %v, want 2.5", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Errorf("median nil = %v, want 0", m)
+	}
+}

@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveToBadPath(t *testing.T) {
+	c := &Corpus{}
+	if err := c.Save(filepath.Join(t.TempDir(), "missing-dir", "x.json.gz")); err == nil {
+		t.Error("saving into a missing directory must fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json.gz")
+	if err := os.WriteFile(path, []byte("not gzip at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("garbage file accepted")
+	}
+}
+
+func TestBalancedSingleClass(t *testing.T) {
+	c, err := Build(buildCfg(20, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A label that is constant over the corpus yields an empty balanced
+	// subset (no pairs to form).
+	b := c.Balanced(func(tr *Trace) bool { return true }, 1)
+	if b.Len() != 0 {
+		t.Errorf("single-class balanced subset has %d traces, want 0", b.Len())
+	}
+}
+
+func TestFilterComposes(t *testing.T) {
+	c, err := Build(buildCfg(30, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := c.Filter(func(tr *Trace) bool { return len(tr.Query.Ops) > 4 })
+	for _, tr := range joins.Traces {
+		if len(tr.Query.Ops) <= 4 {
+			t.Fatal("Filter returned non-matching trace")
+		}
+	}
+	none := joins.Filter(func(tr *Trace) bool { return false })
+	if none.Len() != 0 {
+		t.Error("empty filter must return empty corpus")
+	}
+}
+
+func TestSplitDegenerateFractions(t *testing.T) {
+	c, err := Build(buildCfg(10, 33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val, test := c.Split(1.0, 0, 1)
+	if train.Len() != 10 || val.Len() != 0 || test.Len() != 0 {
+		t.Errorf("all-train split got %d/%d/%d", train.Len(), val.Len(), test.Len())
+	}
+	train, val, test = c.Split(0, 0, 1)
+	if train.Len() != 0 || val.Len() != 0 || test.Len() != 10 {
+		t.Errorf("all-test split got %d/%d/%d", train.Len(), val.Len(), test.Len())
+	}
+}
+
+func TestSplitSeedChangesAssignment(t *testing.T) {
+	c, err := Build(buildCfg(40, 34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _, _ := c.Split(0.5, 0.25, 1)
+	t2, _, _ := c.Split(0.5, 0.25, 2)
+	same := true
+	for i := range t1.Traces {
+		if t1.Traces[i] != t2.Traces[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different split seeds produced identical train sets")
+	}
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"costream/internal/hardware"
+	"costream/internal/placement"
+	"costream/internal/qerror"
+	"costream/internal/sim"
+	"costream/internal/stream"
+	"costream/internal/workload"
+)
+
+// SpeedupRow is one bar pair of Figure 9: median speed-up of the optimized
+// initial placement over the plain heuristic placement, for COSTREAM and
+// the flat-vector baseline.
+type SpeedupRow struct {
+	Class     string
+	N         int
+	CoSpeedup float64 // median Lp(initial) / Lp(COSTREAM-optimized)
+	FlSpeedup float64 // median Lp(initial) / Lp(flat-vector-optimized)
+}
+
+// Exp2aResult reproduces Figure 9.
+type Exp2aResult struct {
+	Rows []SpeedupRow
+}
+
+// failedLatencySentinelMS stands in for the latency of an unsuccessful or
+// crashed execution: the full execution horizon. The paper's failed
+// initial placements likewise manifest as extreme latencies.
+const failedLatencySentinelMS = 120_000
+
+func measuredLp(m *sim.Metrics) float64 {
+	if !m.Success || m.Crashed {
+		return failedLatencySentinelMS
+	}
+	return m.ProcLatencyMS
+}
+
+// Exp2aPlacement optimizes the initial placement of n queries per query
+// class with COSTREAM and the baseline, and reports median speed-ups over
+// the plain heuristic initial placement [32] (Figure 9).
+func (s *Suite) Exp2aPlacement() (*Exp2aResult, error) {
+	coPred, err := s.Predictor()
+	if err != nil {
+		return nil, err
+	}
+	flPred, err := s.FlatPredictor()
+	if err != nil {
+		return nil, err
+	}
+	nPerClass := s.scaled(50, 12)
+	const candidates = 16
+	classes := []stream.QueryClass{
+		stream.ClassLinear, stream.ClassLinearAgg,
+		stream.ClassTwoWayJoin, stream.ClassTwoWayJoinAgg,
+		stream.ClassThreeWayJoin, stream.ClassThreeWayJoinAgg,
+	}
+	res := &Exp2aResult{}
+	simCfg := s.simConfig()
+	for ci, class := range classes {
+		gen := workload.New(workload.DefaultConfig(8800 + int64(ci)))
+		rng := rand.New(rand.NewSource(4400 + int64(ci)))
+		var coRatios, flRatios []float64
+		for i := 0; i < nPerClass; i++ {
+			q := gen.QueryOfClass(class)
+			cluster := gen.Cluster()
+			initial, err := placement.HeuristicInitial(rng, q, cluster)
+			if err != nil {
+				continue
+			}
+			cands := placement.Enumerate(rng, q, cluster, candidates)
+			if len(cands) == 0 {
+				continue
+			}
+			runCfg := simCfg
+			runCfg.Seed = int64(9000 + ci*1000 + i)
+			initM, err := sim.Run(q, cluster, initial, runCfg)
+			if err != nil {
+				return nil, err
+			}
+			initLp := measuredLp(initM)
+
+			coRes, err := placement.Optimize(coPred, q, cluster, cands, placement.MinProcLatency)
+			if err != nil {
+				return nil, err
+			}
+			coM, err := sim.Run(q, cluster, coRes.Placement, runCfg)
+			if err != nil {
+				return nil, err
+			}
+			coRatios = append(coRatios, initLp/maxf(measuredLp(coM), 1e-3))
+
+			flRes, err := placement.Optimize(flPred, q, cluster, cands, placement.MinProcLatency)
+			if err != nil {
+				return nil, err
+			}
+			flM, err := sim.Run(q, cluster, flRes.Placement, runCfg)
+			if err != nil {
+				return nil, err
+			}
+			flRatios = append(flRatios, initLp/maxf(measuredLp(flM), 1e-3))
+		}
+		res.Rows = append(res.Rows, SpeedupRow{
+			Class:     class.String(),
+			N:         len(coRatios),
+			CoSpeedup: qerror.Quantile(coRatios, 0.5),
+			FlSpeedup: qerror.Quantile(flRatios, 0.5),
+		})
+		s.Logf("exp2a %v done (n=%d)", class, len(coRatios))
+	}
+	return res, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table renders Figure 9 as rows.
+func (r *Exp2aResult) Table() *Table {
+	t := &Table{Title: "[Exp 2a / Figure 9] Median Lp speed-up of optimized initial placements"}
+	for _, row := range r.Rows {
+		t.Lines = append(t.Lines, fmt.Sprintf(
+			"%-16s COSTREAM %6.2fx | FlatVector %6.2fx (n=%d)",
+			row.Class, row.CoSpeedup, row.FlSpeedup, row.N))
+	}
+	return t
+}
+
+// MonitoringRow is one point of Figure 10: for a linear filter query with
+// the given event rate and selectivity, the initial slow-down of the
+// monitoring baseline relative to COSTREAM's initial placement, and the
+// monitoring time it needed to become competitive.
+type MonitoringRow struct {
+	EventRate   float64
+	Selectivity float64
+	// SlowdownX is Lp(monitoring initial) / Lp(COSTREAM initial).
+	SlowdownX float64
+	// OverheadS is the monitoring + migration time until the baseline's
+	// placement reached within 5% of COSTREAM's latency; negative means
+	// it never did within its budget.
+	OverheadS float64
+}
+
+// Exp2bResult reproduces Figure 10.
+type Exp2bResult struct {
+	Rows []MonitoringRow
+}
+
+// Exp2bMonitoring compares COSTREAM's initial placement against the online
+// monitoring baseline [1] over an event-rate x selectivity grid of linear
+// filter queries (Figure 10).
+func (s *Suite) Exp2bMonitoring() (*Exp2bResult, error) {
+	coPred, err := s.Predictor()
+	if err != nil {
+		return nil, err
+	}
+	rates := []float64{100, 200, 400, 800, 1600, 3200, 6400}
+	sels := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
+	if s.Scale < 1 {
+		rates = []float64{100, 800, 6400}
+		sels = []float64{0.1, 0.5, 1.0}
+	}
+	gen := workload.New(workload.DefaultConfig(555))
+	rng := rand.New(rand.NewSource(556))
+	simCfg := s.simConfig()
+	mcfg := placement.DefaultMonitorConfig(simCfg)
+	res := &Exp2bResult{}
+	for _, rate := range rates {
+		for _, sel := range sels {
+			q := gen.FilterQuery(rate, sel)
+			cluster := gen.Cluster()
+			cands := placement.Enumerate(rng, q, cluster, 16)
+			if len(cands) == 0 {
+				continue
+			}
+			coRes, err := placement.Optimize(coPred, q, cluster, cands, placement.MinProcLatency)
+			if err != nil {
+				return nil, err
+			}
+			coM, err := sim.Run(q, cluster, coRes.Placement, simCfg)
+			if err != nil {
+				return nil, err
+			}
+			coLp := measuredLp(coM)
+
+			initial, err := placement.HeuristicInitial(rng, q, cluster)
+			if err != nil {
+				continue
+			}
+			steps, err := placement.OnlineMonitoring(rng, q, cluster, initial, mcfg)
+			if err != nil {
+				return nil, err
+			}
+			row := MonitoringRow{
+				EventRate:   rate,
+				Selectivity: sel,
+				SlowdownX:   measuredLp(steps[0].Metrics) / maxf(coLp, 1e-3),
+				OverheadS:   -1,
+			}
+			for _, st := range steps {
+				if measuredLp(st.Metrics) <= coLp*1.05 {
+					row.OverheadS = st.ElapsedS
+					break
+				}
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Table renders Figure 10 as rows.
+func (r *Exp2bResult) Table() *Table {
+	t := &Table{Title: "[Exp 2b / Figure 10] Online monitoring baseline vs COSTREAM initial placement"}
+	worst := 0.0
+	never := 0
+	for _, row := range r.Rows {
+		over := fmt.Sprintf("%5.0fs", row.OverheadS)
+		if row.OverheadS < 0 {
+			over = "never"
+			never++
+		}
+		if row.SlowdownX > worst {
+			worst = row.SlowdownX
+		}
+		t.Lines = append(t.Lines, fmt.Sprintf(
+			"rate=%6.0f ev/s sel=%.2f slow-down=%7.2fx monitoring-overhead=%s",
+			row.EventRate, row.Selectivity, row.SlowdownX, over))
+	}
+	t.Lines = append(t.Lines, fmt.Sprintf("max slow-down %.1fx; %d/%d configurations never caught up",
+		worst, never, len(r.Rows)))
+	return t
+}
+
+var _ = hardware.Cluster{}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"costream/internal/core"
+	"costream/internal/dataset"
+	"costream/internal/hardware"
+	"costream/internal/workload"
+)
+
+// Exp3Result reproduces Table IV: interpolation to hardware configurations
+// inside the training range but never seen during training.
+type Exp3Result struct {
+	Rows []MetricRow
+}
+
+// Exp3Interpolation evaluates the base models on queries executed on the
+// unseen in-range hardware grid of Table IV-A.
+func (s *Suite) Exp3Interpolation() (*Exp3Result, error) {
+	eval, err := s.corpus("interpolation", func() (*dataset.Corpus, error) {
+		gen := workload.DefaultConfig(4100)
+		gen.HW = hardware.InterpolationGrid()
+		return dataset.Build(dataset.BuildConfig{
+			N:    s.evalN(),
+			Seed: 4100,
+			Gen:  gen,
+			Sim:  s.simConfig(),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows, err := s.compareRows(eval, core.AllMetrics(), 41)
+	if err != nil {
+		return nil, err
+	}
+	return &Exp3Result{Rows: rows}, nil
+}
+
+// Table renders the result.
+func (r *Exp3Result) Table() *Table {
+	t := &Table{Title: "[Exp 3 / Table IV] Hardware interpolation (unseen in-range hardware)"}
+	for _, row := range r.Rows {
+		t.Lines = append(t.Lines, row.format())
+	}
+	return t
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"costream/internal/qerror"
+)
+
+// Fig1Result reproduces Figure 1: median E2E-latency q-errors for queries
+// similar to the training data versus entirely unseen hardware, query
+// structures and benchmarks, for COSTREAM and the flat-vector baseline.
+type Fig1Result struct {
+	Scenarios []Fig1Scenario
+}
+
+// Fig1Scenario is one bar pair of Figure 1.
+type Fig1Scenario struct {
+	Name  string
+	CoQ50 float64
+	FlQ50 float64
+}
+
+// Fig1Summary aggregates the E2E-latency rows of Exp 1, 3, 5a and 6 into
+// the headline comparison of Figure 1.
+func (s *Suite) Fig1Summary(e1 *Exp1Result, e3 *Exp3Result, e5 *Exp5aResult, e6 *Exp6Result) *Fig1Result {
+	leRow := func(rows []MetricRow) (co, fl float64) {
+		for _, r := range rows {
+			if r.Metric == "e2e-latency" {
+				return r.CoQ50, r.FlQ50
+			}
+		}
+		return 0, 0
+	}
+	res := &Fig1Result{}
+	co, fl := leRow(e1.Rows)
+	res.Scenarios = append(res.Scenarios, Fig1Scenario{"Seen queries", co, fl})
+	co, fl = leRow(e3.Rows)
+	res.Scenarios = append(res.Scenarios, Fig1Scenario{"Unseen hardware", co, fl})
+	var cos, fls []float64
+	for _, g := range e5.Groups {
+		c, f := leRow(g.Rows)
+		cos, fls = append(cos, c), append(fls, f)
+	}
+	res.Scenarios = append(res.Scenarios, Fig1Scenario{
+		"Unseen queries", qerror.Quantile(cos, 0.5), qerror.Quantile(fls, 0.5)})
+	cos, fls = nil, nil
+	for _, g := range e6.Groups {
+		c, f := leRow(g.Rows)
+		cos, fls = append(cos, c), append(fls, f)
+	}
+	res.Scenarios = append(res.Scenarios, Fig1Scenario{
+		"Unseen benchmark", qerror.Quantile(cos, 0.5), qerror.Quantile(fls, 0.5)})
+	return res
+}
+
+// Table renders Figure 1.
+func (r *Fig1Result) Table() *Table {
+	t := &Table{Title: "[Figure 1] Median E2E-latency q-error: COSTREAM vs Flat Vector"}
+	for _, sc := range r.Scenarios {
+		t.Lines = append(t.Lines, fmt.Sprintf("%-17s COSTREAM %6.2f | FlatVector %8.2f", sc.Name, sc.CoQ50, sc.FlQ50))
+	}
+	return t
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// RunAll executes every experiment in paper order and writes the rendered
+// tables to w. It returns the tables for further processing (e.g. the
+// EXPERIMENTS.md generator in cmd/costream-expts).
+func (s *Suite) RunAll(w io.Writer) ([]*Table, error) {
+	var tables []*Table
+	emit := func(t *Table) {
+		tables = append(tables, t)
+		if w != nil {
+			t.WriteText(w)
+		}
+	}
+	step := func(name string, f func() (*Table, error)) error {
+		start := time.Now()
+		t, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		s.Logf("%s finished in %v", name, time.Since(start).Round(time.Second))
+		emit(t)
+		return nil
+	}
+
+	var e1 *Exp1Result
+	var e3 *Exp3Result
+	var e5 *Exp5aResult
+	var e6 *Exp6Result
+
+	if err := step("exp1-overall", func() (*Table, error) {
+		r, err := s.Exp1Overall()
+		if err != nil {
+			return nil, err
+		}
+		e1 = r
+		return r.Table(), nil
+	}); err != nil {
+		return tables, err
+	}
+	if err := step("exp1-hardware", func() (*Table, error) {
+		r, err := s.Exp1Hardware()
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	}); err != nil {
+		return tables, err
+	}
+	if err := step("exp1-querytypes", func() (*Table, error) {
+		r, err := s.Exp1QueryTypes()
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	}); err != nil {
+		return tables, err
+	}
+	if err := step("exp2a-placement", func() (*Table, error) {
+		r, err := s.Exp2aPlacement()
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	}); err != nil {
+		return tables, err
+	}
+	if err := step("exp2b-monitoring", func() (*Table, error) {
+		r, err := s.Exp2bMonitoring()
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	}); err != nil {
+		return tables, err
+	}
+	if err := step("exp3-interpolation", func() (*Table, error) {
+		r, err := s.Exp3Interpolation()
+		if err != nil {
+			return nil, err
+		}
+		e3 = r
+		return r.Table(), nil
+	}); err != nil {
+		return tables, err
+	}
+	if err := step("exp4-extrapolation", func() (*Table, error) {
+		r, err := s.Exp4Extrapolation()
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	}); err != nil {
+		return tables, err
+	}
+	if err := step("exp5a-unseen-patterns", func() (*Table, error) {
+		r, err := s.Exp5aUnseenPatterns()
+		if err != nil {
+			return nil, err
+		}
+		e5 = r
+		return r.Table(), nil
+	}); err != nil {
+		return tables, err
+	}
+	if err := step("exp5b-finetuning", func() (*Table, error) {
+		r, err := s.Exp5bFineTuning()
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	}); err != nil {
+		return tables, err
+	}
+	if err := step("exp6-benchmarks", func() (*Table, error) {
+		r, err := s.Exp6Benchmarks()
+		if err != nil {
+			return nil, err
+		}
+		e6 = r
+		return r.Table(), nil
+	}); err != nil {
+		return tables, err
+	}
+	if err := step("exp7a-feature-ablation", func() (*Table, error) {
+		r, err := s.Exp7aFeatureAblation()
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	}); err != nil {
+		return tables, err
+	}
+	if err := step("exp7b-message-passing", func() (*Table, error) {
+		r, err := s.Exp7bMessagePassing()
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	}); err != nil {
+		return tables, err
+	}
+	// Figure 1 aggregates already-computed results.
+	emit(s.Fig1Summary(e1, e3, e5, e6).Table())
+	return tables, nil
+}

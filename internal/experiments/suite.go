@@ -1,0 +1,238 @@
+// Package experiments reproduces every table and figure of the COSTREAM
+// paper's evaluation (Section VII): one runner per experiment, shared
+// lazily-trained artifacts (corpora, model ensembles, baselines), and
+// plain-text report rendering. bench_test.go at the repository root and
+// cmd/costream-expts drive these runners.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+
+	"costream/internal/core"
+	"costream/internal/dataset"
+	"costream/internal/flatvec"
+	"costream/internal/gbdt"
+	"costream/internal/sim"
+	"costream/internal/workload"
+)
+
+// ScaleFromEnv reads COSTREAM_SCALE (default 1.0). Corpus sizes, query
+// counts and training epochs scale with it; 0.25 gives a fast smoke run,
+// 1.0 the full reproduction.
+func ScaleFromEnv() float64 {
+	if v := os.Getenv("COSTREAM_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 1.0
+}
+
+// Suite owns the shared artifacts of the experiment runs. All getters are
+// lazy, cached and safe for sequential use (experiments run one at a time;
+// ensemble members train concurrently inside core).
+type Suite struct {
+	Scale float64
+	// Logf receives progress lines; defaults to a no-op.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	corpora map[string]*dataset.Corpus
+	ens     map[string]*core.Ensemble
+	flat    map[string]*flatvec.Model
+}
+
+// NewSuite returns a Suite at the given scale.
+func NewSuite(scale float64) *Suite {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Suite{
+		Scale:   scale,
+		Logf:    func(string, ...any) {},
+		corpora: map[string]*dataset.Corpus{},
+		ens:     map[string]*core.Ensemble{},
+		flat:    map[string]*flatvec.Model{},
+	}
+}
+
+func (s *Suite) scaled(n int, min int) int {
+	v := int(float64(n) * s.Scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// simConfig is the simulator setup used for every experiment.
+func (s *Suite) simConfig() sim.Config { return sim.DefaultConfig() }
+
+// baseN is the corpus size standing in for the paper's 43,281 traces.
+func (s *Suite) baseN() int { return s.scaled(2400, 300) }
+
+// evalN is the per-scenario evaluation corpus size (the paper uses 100).
+func (s *Suite) evalN() int { return s.scaled(100, 40) }
+
+// trainConfig returns the GNN training configuration.
+func (s *Suite) trainConfig(seed int64) core.TrainConfig {
+	cfg := core.DefaultTrainConfig(seed)
+	cfg.Epochs = s.scaled(45, 10)
+	cfg.Patience = 8
+	cfg.Hidden = 32
+	cfg.LR = 3e-3
+	return cfg
+}
+
+// smallTrainConfig is used where many models must be trained (Exp 4, 7).
+func (s *Suite) smallTrainConfig(seed int64) core.TrainConfig {
+	cfg := s.trainConfig(seed)
+	cfg.Epochs = s.scaled(25, 8)
+	cfg.Patience = 6
+	return cfg
+}
+
+// EnsembleSize is the per-metric ensemble size (the paper uses 3).
+const EnsembleSize = 3
+
+// corpus returns (building if needed) a named corpus.
+func (s *Suite) corpus(name string, build func() (*dataset.Corpus, error)) (*dataset.Corpus, error) {
+	s.mu.Lock()
+	c, ok := s.corpora[name]
+	s.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	s.Logf("building corpus %q", name)
+	c, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: corpus %q: %w", name, err)
+	}
+	s.mu.Lock()
+	s.corpora[name] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// BaseCorpus is the main training benchmark (Section VI distribution).
+func (s *Suite) BaseCorpus() (*dataset.Corpus, error) {
+	return s.corpus("base", func() (*dataset.Corpus, error) {
+		return dataset.Build(dataset.BuildConfig{
+			N:    s.baseN(),
+			Seed: 20240313, // arXiv submission date of the paper
+			Gen:  workload.DefaultConfig(20240313),
+			Sim:  s.simConfig(),
+		})
+	})
+}
+
+// BaseSplit returns the 80/10/10 split of the base corpus.
+func (s *Suite) BaseSplit() (train, val, test *dataset.Corpus, err error) {
+	c, err := s.BaseCorpus()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	train, val, test = c.Split(0.8, 0.1, 1)
+	return train, val, test, nil
+}
+
+// Ensemble returns the COSTREAM ensemble for a metric, trained on the base
+// split.
+func (s *Suite) Ensemble(m core.Metric) (*core.Ensemble, error) {
+	key := "base/" + m.String()
+	s.mu.Lock()
+	e, ok := s.ens[key]
+	s.mu.Unlock()
+	if ok {
+		return e, nil
+	}
+	train, val, _, err := s.BaseSplit()
+	if err != nil {
+		return nil, err
+	}
+	s.Logf("training COSTREAM ensemble for %v (%d models)", m, EnsembleSize)
+	e, err = core.TrainEnsemble(train, val, m, s.trainConfig(100+int64(m)), EnsembleSize)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ens[key] = e
+	s.mu.Unlock()
+	return e, nil
+}
+
+// FlatModel returns the flat-vector baseline model for a metric, trained
+// on the base split.
+func (s *Suite) FlatModel(m core.Metric) (*flatvec.Model, error) {
+	key := "base/" + m.String()
+	s.mu.Lock()
+	f, ok := s.flat[key]
+	s.mu.Unlock()
+	if ok {
+		return f, nil
+	}
+	train, _, _, err := s.BaseSplit()
+	if err != nil {
+		return nil, err
+	}
+	s.Logf("training flat-vector baseline for %v", m)
+	f, err = flatvec.Train(train, m, gbdt.DefaultConfig(200+int64(m)))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.flat[key] = f
+	s.mu.Unlock()
+	return f, nil
+}
+
+// Predictor assembles the full five-metric COSTREAM predictor from the
+// cached ensembles.
+func (s *Suite) Predictor() (*core.Predictor, error) {
+	pr := &core.Predictor{}
+	for _, m := range core.AllMetrics() {
+		e, err := s.Ensemble(m)
+		if err != nil {
+			return nil, err
+		}
+		switch m {
+		case core.MetricThroughput:
+			pr.Throughput = e
+		case core.MetricProcLatency:
+			pr.ProcLatency = e
+		case core.MetricE2ELatency:
+			pr.E2ELatency = e
+		case core.MetricBackpressure:
+			pr.Backpressure = e
+		case core.MetricSuccess:
+			pr.Success = e
+		}
+	}
+	return pr, nil
+}
+
+// FlatPredictor assembles the flat-vector placement predictor.
+func (s *Suite) FlatPredictor() (*flatvec.Predictor, error) {
+	pr := &flatvec.Predictor{}
+	for _, m := range core.AllMetrics() {
+		f, err := s.FlatModel(m)
+		if err != nil {
+			return nil, err
+		}
+		switch m {
+		case core.MetricThroughput:
+			pr.Throughput = f
+		case core.MetricProcLatency:
+			pr.ProcLatency = f
+		case core.MetricE2ELatency:
+			pr.E2ELatency = f
+		case core.MetricBackpressure:
+			pr.Backpressure = f
+		case core.MetricSuccess:
+			pr.Success = f
+		}
+	}
+	return pr, nil
+}

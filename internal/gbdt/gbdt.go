@@ -1,0 +1,302 @@
+// Package gbdt implements gradient-boosted decision trees for regression
+// (squared error) and binary classification (logistic loss), substituting
+// the LightGBM models [34] that the paper's flat-vector baseline [16] is
+// trained with. Trees are grown greedily with exact split search.
+package gbdt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config controls boosting.
+type Config struct {
+	NTrees    int
+	LearnRate float64
+	MaxDepth  int
+	MinLeaf   int
+	// SubsampleRows is the per-tree row sampling fraction (stochastic
+	// gradient boosting); 1 disables sampling.
+	SubsampleRows float64
+	Seed          int64
+}
+
+// DefaultConfig returns a reasonable boosting setup for a few thousand
+// rows with tens of features.
+func DefaultConfig(seed int64) Config {
+	return Config{NTrees: 120, LearnRate: 0.1, MaxDepth: 4, MinLeaf: 5, SubsampleRows: 0.9, Seed: seed}
+}
+
+func (c Config) validate(nRows, nCols int) error {
+	if c.NTrees <= 0 || c.LearnRate <= 0 || c.MaxDepth <= 0 || c.MinLeaf <= 0 {
+		return fmt.Errorf("gbdt: invalid config %+v", c)
+	}
+	if nRows == 0 || nCols == 0 {
+		return fmt.Errorf("gbdt: empty training matrix (%dx%d)", nRows, nCols)
+	}
+	return nil
+}
+
+// node is one tree vertex in flattened form.
+type node struct {
+	Feature int     `json:"f"` // -1 for leaf
+	Thresh  float64 `json:"t"`
+	Left    int     `json:"l"`
+	Right   int     `json:"r"`
+	Value   float64 `json:"v"`
+}
+
+// Tree is a regression tree over dense feature vectors.
+type Tree struct {
+	Nodes []node `json:"nodes"`
+}
+
+// Predict evaluates the tree.
+func (t *Tree) Predict(x []float64) float64 {
+	i := 0
+	for {
+		n := t.Nodes[i]
+		if n.Feature < 0 {
+			return n.Value
+		}
+		if x[n.Feature] <= n.Thresh {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// growTree fits a depth-bounded regression tree to (grad, hess) using
+// Newton leaf values: value = -sum(grad)/sum(hess). For squared error,
+// grad = pred - y and hess = 1, reducing to the mean residual.
+func growTree(X [][]float64, grad, hess []float64, rows []int, cfg Config) *Tree {
+	t := &Tree{}
+	t.build(X, grad, hess, rows, cfg, 0)
+	return t
+}
+
+func leafValue(grad, hess []float64, rows []int) float64 {
+	var g, h float64
+	for _, r := range rows {
+		g += grad[r]
+		h += hess[r]
+	}
+	if h < 1e-12 {
+		return 0
+	}
+	return -g / h
+}
+
+// build appends a subtree and returns its root index.
+func (t *Tree) build(X [][]float64, grad, hess []float64, rows []int, cfg Config, depth int) int {
+	idx := len(t.Nodes)
+	t.Nodes = append(t.Nodes, node{Feature: -1})
+	if depth >= cfg.MaxDepth || len(rows) < 2*cfg.MinLeaf {
+		t.Nodes[idx].Value = leafValue(grad, hess, rows)
+		return idx
+	}
+	feat, thresh, gain := bestSplit(X, grad, hess, rows, cfg.MinLeaf)
+	if feat < 0 || gain <= 1e-12 {
+		t.Nodes[idx].Value = leafValue(grad, hess, rows)
+		return idx
+	}
+	var left, right []int
+	for _, r := range rows {
+		if X[r][feat] <= thresh {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	t.Nodes[idx].Feature = feat
+	t.Nodes[idx].Thresh = thresh
+	t.Nodes[idx].Left = t.build(X, grad, hess, left, cfg, depth+1)
+	t.Nodes[idx].Right = t.build(X, grad, hess, right, cfg, depth+1)
+	return idx
+}
+
+// bestSplit scans every feature with exact sorted split search, maximizing
+// the standard gradient-boosting gain GL^2/HL + GR^2/HR - G^2/H.
+func bestSplit(X [][]float64, grad, hess []float64, rows []int, minLeaf int) (feature int, thresh, gain float64) {
+	nf := len(X[rows[0]])
+	var gTot, hTot float64
+	for _, r := range rows {
+		gTot += grad[r]
+		hTot += hess[r]
+	}
+	parent := gTot * gTot / math.Max(hTot, 1e-12)
+	feature = -1
+	order := make([]int, len(rows))
+	for f := 0; f < nf; f++ {
+		copy(order, rows)
+		sort.Slice(order, func(i, j int) bool { return X[order[i]][f] < X[order[j]][f] })
+		var gl, hl float64
+		for i := 0; i+1 < len(order); i++ {
+			r := order[i]
+			gl += grad[r]
+			hl += hess[r]
+			if i+1 < minLeaf || len(order)-i-1 < minLeaf {
+				continue
+			}
+			x0, x1 := X[r][f], X[order[i+1]][f]
+			if x0 == x1 {
+				continue
+			}
+			gr, hr := gTot-gl, hTot-hl
+			g := gl*gl/math.Max(hl, 1e-12) + gr*gr/math.Max(hr, 1e-12) - parent
+			if g > gain {
+				gain = g
+				feature = f
+				thresh = (x0 + x1) / 2
+			}
+		}
+	}
+	return feature, thresh, gain
+}
+
+func sampleRows(rng *rand.Rand, n int, frac float64) []int {
+	if frac >= 1 {
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+		return rows
+	}
+	k := int(frac * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	perm := rng.Perm(n)
+	rows := append([]int(nil), perm[:k]...)
+	sort.Ints(rows)
+	return rows
+}
+
+// Regressor is a boosted ensemble minimizing squared error.
+type Regressor struct {
+	Base  float64 `json:"base"`
+	LR    float64 `json:"lr"`
+	Trees []*Tree `json:"trees"`
+}
+
+// TrainRegressor fits a boosted regression model.
+func TrainRegressor(X [][]float64, y []float64, cfg Config) (*Regressor, error) {
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("gbdt: %d rows vs %d targets", len(X), len(y))
+	}
+	if err := cfg.validate(len(X), colCount(X)); err != nil {
+		return nil, err
+	}
+	var base float64
+	for _, v := range y {
+		base += v
+	}
+	base /= float64(len(y))
+	r := &Regressor{Base: base, LR: cfg.LearnRate}
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = base
+	}
+	grad := make([]float64, len(y))
+	hess := make([]float64, len(y))
+	for i := range hess {
+		hess[i] = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for k := 0; k < cfg.NTrees; k++ {
+		for i := range y {
+			grad[i] = pred[i] - y[i]
+		}
+		rows := sampleRows(rng, len(y), cfg.SubsampleRows)
+		t := growTree(X, grad, hess, rows, cfg)
+		r.Trees = append(r.Trees, t)
+		for i := range y {
+			pred[i] += cfg.LearnRate * t.Predict(X[i])
+		}
+	}
+	return r, nil
+}
+
+// Predict returns the regression estimate for one feature vector.
+func (r *Regressor) Predict(x []float64) float64 {
+	out := r.Base
+	for _, t := range r.Trees {
+		out += r.LR * t.Predict(x)
+	}
+	return out
+}
+
+// Classifier is a boosted ensemble minimizing logistic loss; Predict
+// returns the positive-class probability.
+type Classifier struct {
+	Base  float64 `json:"base"` // prior log-odds
+	LR    float64 `json:"lr"`
+	Trees []*Tree `json:"trees"`
+}
+
+// TrainClassifier fits a boosted binary classifier; y must contain 0/1.
+func TrainClassifier(X [][]float64, y []float64, cfg Config) (*Classifier, error) {
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("gbdt: %d rows vs %d targets", len(X), len(y))
+	}
+	if err := cfg.validate(len(X), colCount(X)); err != nil {
+		return nil, err
+	}
+	var pos float64
+	for _, v := range y {
+		if v != 0 && v != 1 {
+			return nil, fmt.Errorf("gbdt: classification target %v not in {0,1}", v)
+		}
+		pos += v
+	}
+	p := math.Min(math.Max(pos/float64(len(y)), 1e-6), 1-1e-6)
+	c := &Classifier{Base: math.Log(p / (1 - p)), LR: cfg.LearnRate}
+	f := make([]float64, len(y))
+	for i := range f {
+		f[i] = c.Base
+	}
+	grad := make([]float64, len(y))
+	hess := make([]float64, len(y))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for k := 0; k < cfg.NTrees; k++ {
+		for i := range y {
+			pi := sigmoid(f[i])
+			grad[i] = pi - y[i]
+			hess[i] = math.Max(pi*(1-pi), 1e-6)
+		}
+		rows := sampleRows(rng, len(y), cfg.SubsampleRows)
+		t := growTree(X, grad, hess, rows, cfg)
+		c.Trees = append(c.Trees, t)
+		for i := range y {
+			f[i] += cfg.LearnRate * t.Predict(X[i])
+		}
+	}
+	return c, nil
+}
+
+// Predict returns P(y=1 | x).
+func (c *Classifier) Predict(x []float64) float64 {
+	f := c.Base
+	for _, t := range c.Trees {
+		f += c.LR * t.Predict(x)
+	}
+	return sigmoid(f)
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+func colCount(X [][]float64) int {
+	if len(X) == 0 {
+		return 0
+	}
+	return len(X[0])
+}

@@ -1,0 +1,193 @@
+package gbdt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func synthRegression(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		x0, x1, x2 := rng.Float64(), rng.Float64(), rng.Float64()
+		X[i] = []float64{x0, x1, x2}
+		y[i] = 3*x0 - 2*x1 + 0.5*math.Sin(6*x2) + 0.05*rng.NormFloat64()
+	}
+	return X, y
+}
+
+func TestRegressorFitsNonlinearFunction(t *testing.T) {
+	X, y := synthRegression(600, 1)
+	Xt, yt := synthRegression(200, 2)
+	r, err := TrainRegressor(X, y, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mse, varY, meanY float64
+	for _, v := range yt {
+		meanY += v
+	}
+	meanY /= float64(len(yt))
+	for i := range Xt {
+		d := r.Predict(Xt[i]) - yt[i]
+		mse += d * d
+		varY += (yt[i] - meanY) * (yt[i] - meanY)
+	}
+	mse /= float64(len(yt))
+	varY /= float64(len(yt))
+	if r2 := 1 - mse/varY; r2 < 0.85 {
+		t.Errorf("test R^2 = %v, want >= 0.85", r2)
+	}
+}
+
+func TestRegressorBeatsConstantBaseline(t *testing.T) {
+	X, y := synthRegression(300, 4)
+	r, err := TrainRegressor(X, y, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mseModel, mseBase float64
+	for i := range X {
+		dm := r.Predict(X[i]) - y[i]
+		db := r.Base - y[i]
+		mseModel += dm * dm
+		mseBase += db * db
+	}
+	if mseModel >= mseBase/4 {
+		t.Errorf("model MSE %v should be far below constant baseline %v", mseModel, mseBase)
+	}
+}
+
+func TestClassifierLearnsXORishBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 800
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		x0, x1 := rng.Float64(), rng.Float64()
+		X[i] = []float64{x0, x1}
+		if (x0 > 0.5) != (x1 > 0.5) {
+			y[i] = 1
+		}
+	}
+	c, err := TrainClassifier(X, y, DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range X {
+		p := c.Predict(X[i])
+		if (p > 0.5) == (y[i] == 1) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(n); acc < 0.9 {
+		t.Errorf("train accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestClassifierProbabilityRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	X := make([][]float64, 100)
+	y := make([]float64, 100)
+	for i := range X {
+		X[i] = []float64{rng.Float64()}
+		if X[i][0] > 0.3 {
+			y[i] = 1
+		}
+	}
+	c, err := TrainClassifier(X, y, DefaultConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		p := c.Predict([]float64{rng.Float64()*3 - 1})
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("probability %v out of range", p)
+		}
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	if _, err := TrainRegressor(X, y[:1], DefaultConfig(1)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := TrainRegressor(nil, nil, DefaultConfig(1)); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	bad := DefaultConfig(1)
+	bad.NTrees = 0
+	if _, err := TrainRegressor(X, y, bad); err == nil {
+		t.Error("zero trees accepted")
+	}
+	if _, err := TrainClassifier(X, []float64{0.5, 1}, DefaultConfig(1)); err == nil {
+		t.Error("non-binary target accepted")
+	}
+}
+
+func TestConstantTargetYieldsConstantModel(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}, {11, 12}, {2, 2}, {4, 4}, {6, 6}, {8, 8}}
+	y := make([]float64, len(X))
+	for i := range y {
+		y[i] = 7
+	}
+	r, err := TrainRegressor(X, y, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Predict([]float64{100, -100}); math.Abs(got-7) > 1e-6 {
+		t.Errorf("constant model predicts %v, want 7", got)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	X, y := synthRegression(200, 10)
+	r1, err := TrainRegressor(X, y, DefaultConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := TrainRegressor(X, y, DefaultConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		x := X[i]
+		if r1.Predict(x) != r2.Predict(x) {
+			t.Fatal("same seed produced different models")
+		}
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	X, y := synthRegression(100, 12)
+	cfg := DefaultConfig(13)
+	cfg.MinLeaf = 40
+	cfg.SubsampleRows = 1
+	r, err := TrainRegressor(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With minLeaf 40 of 100 rows, trees have at most one split level.
+	for _, tree := range r.Trees {
+		depth := treeDepth(tree, 0)
+		if depth > 2 {
+			t.Fatalf("tree depth %d with MinLeaf=40 on 100 rows", depth)
+		}
+	}
+}
+
+func treeDepth(t *Tree, idx int) int {
+	n := t.Nodes[idx]
+	if n.Feature < 0 {
+		return 1
+	}
+	l, r := treeDepth(t, n.Left), treeDepth(t, n.Right)
+	if l > r {
+		return 1 + l
+	}
+	return 1 + r
+}

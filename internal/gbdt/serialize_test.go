@@ -1,0 +1,95 @@
+package gbdt
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRegressorJSONRoundTrip(t *testing.T) {
+	X, y := synthRegression(150, 20)
+	r, err := TrainRegressor(X, y, DefaultConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r2 Regressor
+	if err := json.Unmarshal(data, &r2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if r.Predict(X[i]) != r2.Predict(X[i]) {
+			t.Fatalf("round trip changed prediction at row %d", i)
+		}
+	}
+}
+
+func TestClassifierJSONRoundTrip(t *testing.T) {
+	X, _ := synthRegression(150, 22)
+	y := make([]float64, len(X))
+	for i := range y {
+		if X[i][0] > 0.5 {
+			y[i] = 1
+		}
+	}
+	c, err := TrainClassifier(X, y, DefaultConfig(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c2 Classifier
+	if err := json.Unmarshal(data, &c2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if c.Predict(X[i]) != c2.Predict(X[i]) {
+			t.Fatalf("round trip changed probability at row %d", i)
+		}
+	}
+}
+
+func TestImbalancedClassifierBaseRate(t *testing.T) {
+	// 95/5 imbalance: prior log-odds must reflect it and predictions on
+	// uninformative inputs should stay near the base rate.
+	X := make([][]float64, 200)
+	y := make([]float64, 200)
+	for i := range X {
+		X[i] = []float64{1} // single constant feature
+		if i < 10 {
+			y[i] = 1
+		}
+	}
+	c, err := TrainClassifier(X, y, DefaultConfig(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Predict([]float64{1})
+	if p > 0.2 {
+		t.Errorf("constant-feature prediction %v, want near the 5%% base rate", p)
+	}
+}
+
+func TestSubsamplingStillLearns(t *testing.T) {
+	X, y := synthRegression(400, 25)
+	cfg := DefaultConfig(26)
+	cfg.SubsampleRows = 0.5
+	r, err := TrainRegressor(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mse, base float64
+	for i := range X {
+		d := r.Predict(X[i]) - y[i]
+		mse += d * d
+		b := r.Base - y[i]
+		base += b * b
+	}
+	if mse >= base/2 {
+		t.Errorf("subsampled model MSE %v vs baseline %v", mse, base)
+	}
+}

@@ -1,0 +1,344 @@
+package gnn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"costream/internal/nn"
+)
+
+// Config describes a model architecture.
+type Config struct {
+	// Hidden is the hidden state width.
+	Hidden int
+	// FeatDims maps node kind -> input feature dimension.
+	FeatDims map[NodeKind]int
+	// EncHidden and UpdHidden are the hidden widths of the encoder and
+	// update MLPs (one hidden layer each); OutHidden of the readout MLP.
+	EncHidden, UpdHidden, OutHidden int
+	// Traditional selects the ablation message passing scheme of Exp 7b:
+	// k simultaneous undirected neighbor-sum updates instead of the
+	// paper's three ordered directed phases.
+	Traditional bool
+	// TraditionalRounds is the number of undirected rounds (default 3).
+	TraditionalRounds int
+}
+
+// DefaultConfig returns the architecture used across the experiments.
+func DefaultConfig(featDims map[NodeKind]int) Config {
+	return Config{
+		Hidden:    48,
+		FeatDims:  featDims,
+		EncHidden: 64, UpdHidden: 64, OutHidden: 48,
+		TraditionalRounds: 3,
+	}
+}
+
+// Model is a COSTREAM GNN predicting one scalar cost (in the head's output
+// space: log1p cost for regression heads, a logit for classification).
+type Model struct {
+	cfg Config
+	enc map[NodeKind]*nn.MLP // features -> hidden
+	upd map[NodeKind]*nn.MLP // concat(sum children, own) -> hidden
+	out *nn.MLP              // hidden -> 1
+}
+
+// New constructs a model with freshly initialized weights.
+func New(cfg Config, seed int64) (*Model, error) {
+	if cfg.Hidden <= 0 {
+		return nil, fmt.Errorf("gnn: hidden width must be positive")
+	}
+	if len(cfg.FeatDims) == 0 {
+		return nil, fmt.Errorf("gnn: no feature dimensions configured")
+	}
+	if cfg.TraditionalRounds <= 0 {
+		cfg.TraditionalRounds = 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{
+		cfg: cfg,
+		enc: make(map[NodeKind]*nn.MLP),
+		upd: make(map[NodeKind]*nn.MLP),
+	}
+	for _, k := range AllKinds() {
+		d, ok := cfg.FeatDims[k]
+		if !ok {
+			continue
+		}
+		m.enc[k] = nn.NewMLP(rng, d, cfg.EncHidden, cfg.Hidden)
+		m.upd[k] = nn.NewMLP(rng, 2*cfg.Hidden, cfg.UpdHidden, cfg.Hidden)
+	}
+	m.out = nn.NewMLP(rng, cfg.Hidden, cfg.OutHidden, 1)
+	return m, nil
+}
+
+// Config returns the model's architecture configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Params returns all parameter/gradient pairs for the optimizer, in a
+// deterministic order.
+func (m *Model) Params() (params, grads [][]float64) {
+	for _, k := range AllKinds() {
+		if e, ok := m.enc[k]; ok {
+			p, g := e.Params()
+			params, grads = append(params, p...), append(grads, g...)
+		}
+		if u, ok := m.upd[k]; ok {
+			p, g := u.Params()
+			params, grads = append(params, p...), append(grads, g...)
+		}
+	}
+	p, g := m.out.Params()
+	return append(params, p...), append(grads, g...)
+}
+
+// ZeroGrad clears all gradient buffers.
+func (m *Model) ZeroGrad() {
+	for _, e := range m.enc {
+		e.ZeroGrad()
+	}
+	for _, u := range m.upd {
+		u.ZeroGrad()
+	}
+	m.out.ZeroGrad()
+}
+
+// NumParams returns the total scalar parameter count.
+func (m *Model) NumParams() int {
+	n := m.out.NumParams()
+	for _, e := range m.enc {
+		n += e.NumParams()
+	}
+	for _, u := range m.upd {
+		n += u.NumParams()
+	}
+	return n
+}
+
+// Forward records the full forward pass of the graph on the tape and
+// returns the scalar output node.
+func (m *Model) Forward(t *nn.Tape, g *Graph) (*nn.Node, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(g.Nodes)
+	hidden := make([]*nn.Node, n)
+	for i, nd := range g.Nodes {
+		enc, ok := m.enc[nd.Kind]
+		if !ok {
+			return nil, fmt.Errorf("gnn: no encoder for kind %v", nd.Kind)
+		}
+		if len(nd.Feat) != enc.InDim() {
+			return nil, fmt.Errorf("gnn: node %d (%v) has %d features, encoder wants %d",
+				i, nd.Kind, len(nd.Feat), enc.InDim())
+		}
+		hidden[i] = enc.Apply(t, t.Const(nd.Feat))
+	}
+	var err error
+	if m.cfg.Traditional {
+		hidden, err = m.traditionalPassing(t, g, hidden)
+	} else {
+		hidden, err = m.directedPassing(t, g, hidden)
+	}
+	if err != nil {
+		return nil, err
+	}
+	readout := t.Sum(hidden...)
+	return m.out.Apply(t, readout), nil
+}
+
+// update applies the node-type specific update MLP to
+// concat(sum(children), own state). children must be non-empty.
+func (m *Model) update(t *nn.Tape, kind NodeKind, children []*nn.Node, own *nn.Node) *nn.Node {
+	agg := t.Sum(children...)
+	return m.upd[kind].Apply(t, t.Concat(agg, own))
+}
+
+// directedPassing implements the paper's three ordered phases.
+func (m *Model) directedPassing(t *nn.Tape, g *Graph, h []*nn.Node) ([]*nn.Node, error) {
+	// Phase 1: operators -> hardware. Hosts learn the computational
+	// requirements of the operators placed on them (co-location sends
+	// multiple messages to the same host).
+	hostChildren := make(map[int][]*nn.Node)
+	hostOrder := make([]int, 0, 8)
+	for _, e := range g.PlaceEdges {
+		if _, ok := hostChildren[e[1]]; !ok {
+			hostOrder = append(hostOrder, e[1])
+		}
+		hostChildren[e[1]] = append(hostChildren[e[1]], h[e[0]])
+	}
+	sort.Ints(hostOrder)
+	next := make([]*nn.Node, len(h))
+	copy(next, h)
+	// Hosts are updated in ascending index order: while their new states
+	// are order-independent, the tape-recording order determines gradient
+	// accumulation order, and training must be bit-reproducible.
+	for _, hostIdx := range hostOrder {
+		next[hostIdx] = m.update(t, KindHost, hostChildren[hostIdx], h[hostIdx])
+	}
+
+	// Phase 2: hardware -> operators. Operators learn the resources they
+	// are placed on.
+	after2 := make([]*nn.Node, len(next))
+	copy(after2, next)
+	for _, e := range g.PlaceEdges {
+		opIdx, hostIdx := e[0], e[1]
+		after2[opIdx] = m.update(t, g.Nodes[opIdx].Kind, []*nn.Node{next[hostIdx]}, next[opIdx])
+	}
+
+	// Phase 3: sources -> ... -> sink along the data flow, merging
+	// source characteristics with operator and hardware information.
+	order, err := g.opTopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	ups := make(map[int][]int)
+	for _, e := range g.FlowEdges {
+		ups[e[1]] = append(ups[e[1]], e[0])
+	}
+	final := make([]*nn.Node, len(after2))
+	copy(final, after2)
+	for _, v := range order {
+		parents := ups[v]
+		if len(parents) == 0 {
+			continue // sources send but do not receive in this phase
+		}
+		children := make([]*nn.Node, len(parents))
+		for i, p := range parents {
+			children[i] = final[p]
+		}
+		final[v] = m.update(t, g.Nodes[v].Kind, children, after2[v])
+	}
+	return final, nil
+}
+
+// traditionalPassing is the Exp 7b ablation: in each round every node is
+// updated with the sum of all its neighbors' states, regardless of node
+// type or edge direction.
+func (m *Model) traditionalPassing(t *nn.Tape, g *Graph, h []*nn.Node) ([]*nn.Node, error) {
+	n := len(g.Nodes)
+	neighbors := make([][]int, n)
+	addEdge := func(a, b int) {
+		neighbors[a] = append(neighbors[a], b)
+		neighbors[b] = append(neighbors[b], a)
+	}
+	for _, e := range g.FlowEdges {
+		addEdge(e[0], e[1])
+	}
+	for _, e := range g.PlaceEdges {
+		addEdge(e[0], e[1])
+	}
+	cur := h
+	for round := 0; round < m.cfg.TraditionalRounds; round++ {
+		next := make([]*nn.Node, n)
+		for v := 0; v < n; v++ {
+			if len(neighbors[v]) == 0 {
+				next[v] = cur[v]
+				continue
+			}
+			children := make([]*nn.Node, len(neighbors[v]))
+			for i, u := range neighbors[v] {
+				children[i] = cur[u]
+			}
+			next[v] = m.update(t, g.Nodes[v].Kind, children, cur[v])
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// modelJSON is the serialized form of a Model.
+type modelJSON struct {
+	Cfg      configJSON         `json:"config"`
+	Encoders map[string]*nn.MLP `json:"encoders"`
+	Updaters map[string]*nn.MLP `json:"updaters"`
+	Out      *nn.MLP            `json:"out"`
+}
+
+type configJSON struct {
+	Hidden            int            `json:"hidden"`
+	FeatDims          map[string]int `json:"feat_dims"`
+	EncHidden         int            `json:"enc_hidden"`
+	UpdHidden         int            `json:"upd_hidden"`
+	OutHidden         int            `json:"out_hidden"`
+	Traditional       bool           `json:"traditional"`
+	TraditionalRounds int            `json:"traditional_rounds"`
+}
+
+func kindFromName(s string) (NodeKind, bool) {
+	for _, k := range AllKinds() {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON encodes the model's configuration and weights.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	j := modelJSON{
+		Cfg: configJSON{
+			Hidden:    m.cfg.Hidden,
+			FeatDims:  map[string]int{},
+			EncHidden: m.cfg.EncHidden, UpdHidden: m.cfg.UpdHidden, OutHidden: m.cfg.OutHidden,
+			Traditional: m.cfg.Traditional, TraditionalRounds: m.cfg.TraditionalRounds,
+		},
+		Encoders: map[string]*nn.MLP{},
+		Updaters: map[string]*nn.MLP{},
+		Out:      m.out,
+	}
+	for k, d := range m.cfg.FeatDims {
+		j.Cfg.FeatDims[k.String()] = d
+	}
+	for k, e := range m.enc {
+		j.Encoders[k.String()] = e
+	}
+	for k, u := range m.upd {
+		j.Updaters[k.String()] = u
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes a model.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var j modelJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	m.cfg = Config{
+		Hidden:    j.Cfg.Hidden,
+		FeatDims:  map[NodeKind]int{},
+		EncHidden: j.Cfg.EncHidden, UpdHidden: j.Cfg.UpdHidden, OutHidden: j.Cfg.OutHidden,
+		Traditional: j.Cfg.Traditional, TraditionalRounds: j.Cfg.TraditionalRounds,
+	}
+	for name, d := range j.Cfg.FeatDims {
+		k, ok := kindFromName(name)
+		if !ok {
+			return fmt.Errorf("gnn: unknown node kind %q", name)
+		}
+		m.cfg.FeatDims[k] = d
+	}
+	m.enc = map[NodeKind]*nn.MLP{}
+	m.upd = map[NodeKind]*nn.MLP{}
+	for name, e := range j.Encoders {
+		k, ok := kindFromName(name)
+		if !ok {
+			return fmt.Errorf("gnn: unknown node kind %q", name)
+		}
+		m.enc[k] = e
+	}
+	for name, u := range j.Updaters {
+		k, ok := kindFromName(name)
+		if !ok {
+			return fmt.Errorf("gnn: unknown node kind %q", name)
+		}
+		m.upd[k] = u
+	}
+	if j.Out == nil {
+		return fmt.Errorf("gnn: missing readout MLP")
+	}
+	m.out = j.Out
+	return nil
+}

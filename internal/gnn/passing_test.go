@@ -1,0 +1,114 @@
+package gnn
+
+import (
+	"testing"
+
+	"costream/internal/nn"
+)
+
+func TestTraditionalRoundsAffectOutput(t *testing.T) {
+	dims := testDims()
+	mk := func(rounds int) *Model {
+		cfg := DefaultConfig(dims)
+		cfg.Hidden, cfg.EncHidden, cfg.UpdHidden, cfg.OutHidden = 8, 8, 8, 8
+		cfg.Traditional = true
+		cfg.TraditionalRounds = rounds
+		m, err := New(cfg, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	g := testGraph(0.5)
+	t1, t2 := nn.NewTape(), nn.NewTape()
+	o1, err := mk(1).Forward(t1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := mk(3).Forward(t2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Data[0] == o2.Data[0] {
+		t.Error("different round counts produced identical outputs")
+	}
+}
+
+func TestTraditionalRoundsDefaulted(t *testing.T) {
+	cfg := DefaultConfig(testDims())
+	cfg.TraditionalRounds = 0
+	m, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Config().TraditionalRounds != 3 {
+		t.Errorf("rounds defaulted to %d, want 3", m.Config().TraditionalRounds)
+	}
+}
+
+func TestDirectedPassingUsesAllThreePhases(t *testing.T) {
+	// Zeroing the host features must still change the output relative to
+	// removing the host entirely, because placement edges carry messages
+	// in phases 1-2.
+	m := newTestModel(t, false)
+	withHosts := testGraph(0.5)
+	zeroHostFeat := testGraph(0.5)
+	for i := range zeroHostFeat.Nodes {
+		if zeroHostFeat.Nodes[i].Kind == KindHost {
+			zeroHostFeat.Nodes[i].Feat = []float64{0, 0, 0, 0}
+		}
+	}
+	noHosts := &Graph{
+		Nodes:     withHosts.Nodes[:3],
+		FlowEdges: withHosts.FlowEdges,
+	}
+	t1, t2, t3 := nn.NewTape(), nn.NewTape(), nn.NewTape()
+	o1, err := m.Forward(t1, withHosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := m.Forward(t2, zeroHostFeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o3, err := m.Forward(t3, noHosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Data[0] == o2.Data[0] {
+		t.Error("host features do not influence the prediction")
+	}
+	if o2.Data[0] == o3.Data[0] {
+		t.Error("placement structure alone does not influence the prediction")
+	}
+}
+
+func TestKindStringAndAllKinds(t *testing.T) {
+	if len(AllKinds()) != int(numKinds) {
+		t.Errorf("AllKinds lists %d kinds, want %d", len(AllKinds()), int(numKinds))
+	}
+	seen := map[string]bool{}
+	for _, k := range AllKinds() {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("bad kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if NodeKind(99).String() == "" {
+		t.Error("out-of-range kind must format")
+	}
+}
+
+func TestSerializationRejectsCorruptJSON(t *testing.T) {
+	var m Model
+	if err := m.UnmarshalJSON([]byte(`{`)); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if err := m.UnmarshalJSON([]byte(`{"config":{"feat_dims":{"gremlin":4}},"out":null}`)); err == nil {
+		t.Error("unknown node kind accepted")
+	}
+	if err := m.UnmarshalJSON([]byte(`{"config":{"feat_dims":{}},"encoders":{},"updaters":{},"out":null}`)); err == nil {
+		t.Error("missing readout accepted")
+	}
+}

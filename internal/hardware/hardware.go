@@ -1,0 +1,276 @@
+// Package hardware models the heterogeneous edge-cloud resource landscape
+// of the paper: hosts described by the four transferable hardware features
+// (CPU, RAM, outgoing network latency, outgoing network bandwidth), clusters
+// of such hosts, the capability bins used by the placement heuristic
+// (Figure 5), and generators over the training/evaluation feature grids
+// (Tables II, IV, V).
+//
+// The paper realizes heterogeneity with Linux cgroups and tc-netem on
+// CloudLab machines; those mechanisms only exist to set these four features,
+// which this package represents directly.
+package hardware
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Host is one compute node of the landscape, described exactly by the
+// hardware-related transferable features of Table I.
+type Host struct {
+	ID string
+	// CPU is the available compute resource in percent of a reference
+	// core: 200 means two reference cores (or one at double speed).
+	CPU float64
+	// RAMMB is the available memory in megabytes.
+	RAMMB float64
+	// NetLatencyMS is the outgoing network latency of the host in
+	// milliseconds.
+	NetLatencyMS float64
+	// NetBandwidthMbps is the outgoing network bandwidth in Mbit/s.
+	NetBandwidthMbps float64
+}
+
+// Cores returns the host's compute capacity in reference cores.
+func (h *Host) Cores() float64 { return h.CPU / 100 }
+
+// RAMBytes returns the host memory in bytes.
+func (h *Host) RAMBytes() float64 { return h.RAMMB * 1024 * 1024 }
+
+// Validate reports an error when a feature is non-positive.
+func (h *Host) Validate() error {
+	if h.CPU <= 0 {
+		return fmt.Errorf("host %s: cpu must be positive, got %v", h.ID, h.CPU)
+	}
+	if h.RAMMB <= 0 {
+		return fmt.Errorf("host %s: ram must be positive, got %v", h.ID, h.RAMMB)
+	}
+	if h.NetLatencyMS < 0 {
+		return fmt.Errorf("host %s: latency must be non-negative, got %v", h.ID, h.NetLatencyMS)
+	}
+	if h.NetBandwidthMbps <= 0 {
+		return fmt.Errorf("host %s: bandwidth must be positive, got %v", h.ID, h.NetBandwidthMbps)
+	}
+	return nil
+}
+
+// CapabilityScore is a scalar summary of host strength used to classify
+// hosts into bins. It mixes compute, memory and network strength on log
+// scales so that no single dimension dominates.
+func (h *Host) CapabilityScore() float64 {
+	// Normalize against the training grid midpoints: cpu 400%, 8 GB RAM,
+	// 800 Mbit/s, 20 ms. Latency counts inversely.
+	c := h.CPU / 400
+	r := h.RAMMB / 8000
+	b := h.NetBandwidthMbps / 800
+	l := 20 / maxf(h.NetLatencyMS, 0.5)
+	return 0.4*c + 0.3*r + 0.2*b + 0.1*l
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Bin is a capability class for the placement heuristic's "increasing
+// computing capability" rule: data may only flow from weaker to equal or
+// stronger bins (edge -> fog -> cloud).
+type Bin int
+
+// Capability bins.
+const (
+	BinEdge Bin = iota
+	BinFog
+	BinCloud
+)
+
+func (b Bin) String() string {
+	switch b {
+	case BinEdge:
+		return "edge"
+	case BinFog:
+		return "fog"
+	case BinCloud:
+		return "cloud"
+	default:
+		return fmt.Sprintf("Bin(%d)", int(b))
+	}
+}
+
+// Classify maps a host to its capability bin. The thresholds intersect in
+// feature range, emulating the paper's "bins intersected in their feature
+// range" realistic transitions.
+func Classify(h *Host) Bin {
+	s := h.CapabilityScore()
+	switch {
+	case s < 0.6:
+		return BinEdge
+	case s < 1.3:
+		return BinFog
+	default:
+		return BinCloud
+	}
+}
+
+// Cluster is a set of hosts available for placement.
+type Cluster struct {
+	Hosts []*Host
+}
+
+// NumHosts returns the number of hosts.
+func (c *Cluster) NumHosts() int { return len(c.Hosts) }
+
+// Validate checks every host.
+func (c *Cluster) Validate() error {
+	if len(c.Hosts) == 0 {
+		return fmt.Errorf("empty cluster")
+	}
+	seen := make(map[string]bool, len(c.Hosts))
+	for _, h := range c.Hosts {
+		if err := h.Validate(); err != nil {
+			return err
+		}
+		if seen[h.ID] {
+			return fmt.Errorf("duplicate host id %q", h.ID)
+		}
+		seen[h.ID] = true
+	}
+	return nil
+}
+
+// Bins returns the capability bin of each host, indexed like Hosts.
+func (c *Cluster) Bins() []Bin {
+	bins := make([]Bin, len(c.Hosts))
+	for i, h := range c.Hosts {
+		bins[i] = Classify(h)
+	}
+	return bins
+}
+
+// Clone returns a deep copy of the cluster.
+func (c *Cluster) Clone() *Cluster {
+	hosts := make([]*Host, len(c.Hosts))
+	for i, h := range c.Hosts {
+		hc := *h
+		hosts[i] = &hc
+	}
+	return &Cluster{Hosts: hosts}
+}
+
+// LinkLatencyMS returns the network latency for shipping data from host
+// src to host dst. Co-located operators communicate in-process at zero
+// network latency; remote hops pay the sender's outgoing latency, matching
+// the paper's "outgoing latency of the host" feature.
+func (c *Cluster) LinkLatencyMS(src, dst int) float64 {
+	if src == dst {
+		return 0
+	}
+	return c.Hosts[src].NetLatencyMS
+}
+
+// LinkBandwidthMbps returns the bandwidth of the path from src to dst:
+// infinite for co-location, otherwise the minimum of the sender's outgoing
+// and the receiver's incoming (modeled as its outgoing) capacity.
+func (c *Cluster) LinkBandwidthMbps(src, dst int) float64 {
+	if src == dst {
+		return 0 // caller must treat 0 as "no network constraint"
+	}
+	b := c.Hosts[src].NetBandwidthMbps
+	if r := c.Hosts[dst].NetBandwidthMbps; r < b {
+		b = r
+	}
+	return b
+}
+
+// Grid holds the value grids hardware features are sampled from. The zero
+// value is unusable; use TrainingGrid or a custom grid.
+type Grid struct {
+	CPU       []float64
+	RAMMB     []float64
+	Bandwidth []float64
+	LatencyMS []float64
+}
+
+// TrainingGrid returns the training data ranges of Table II.
+func TrainingGrid() Grid {
+	return Grid{
+		CPU:       []float64{50, 100, 200, 300, 400, 500, 600, 700, 800},
+		RAMMB:     []float64{1000, 2000, 4000, 8000, 16000, 24000, 32000},
+		Bandwidth: []float64{25, 50, 100, 200, 400, 800, 1600, 3200, 6400, 10000},
+		LatencyMS: []float64{1, 2, 5, 10, 20, 40, 80, 160},
+	}
+}
+
+// InterpolationGrid returns the unseen in-range evaluation grid of
+// Table IV-A (Exp 3).
+func InterpolationGrid() Grid {
+	return Grid{
+		CPU:       []float64{75, 150, 250, 350, 450, 550, 650, 750},
+		RAMMB:     []float64{1500, 3000, 6000, 12000, 20000, 28000},
+		Bandwidth: []float64{35, 75, 150, 250, 550, 1200, 1900, 4800, 8000},
+		LatencyMS: []float64{3, 7, 15, 30, 60, 120},
+	}
+}
+
+// Sample draws one host with features drawn independently and uniformly
+// from the grid values.
+func (g Grid) Sample(rng *rand.Rand, id string) *Host {
+	pick := func(vals []float64) float64 { return vals[rng.Intn(len(vals))] }
+	return &Host{
+		ID:               id,
+		CPU:              pick(g.CPU),
+		RAMMB:            pick(g.RAMMB),
+		NetLatencyMS:     pick(g.LatencyMS),
+		NetBandwidthMbps: pick(g.Bandwidth),
+	}
+}
+
+// SampleCluster draws n hosts from the grid. To guarantee the heuristic
+// placement rules are satisfiable it re-draws until the cluster contains at
+// least one host of bin >= fog (so data can flow "upward"), falling back to
+// boosting the last host after a bounded number of attempts.
+func (g Grid) SampleCluster(rng *rand.Rand, n int) *Cluster {
+	const attempts = 32
+	for a := 0; a < attempts; a++ {
+		c := &Cluster{}
+		for i := 0; i < n; i++ {
+			c.Hosts = append(c.Hosts, g.Sample(rng, fmt.Sprintf("host-%d", i)))
+		}
+		for _, b := range c.Bins() {
+			if b >= BinFog {
+				return c
+			}
+		}
+	}
+	// Fallback: force a strong final host from the top of the grids.
+	c := &Cluster{}
+	for i := 0; i < n-1; i++ {
+		c.Hosts = append(c.Hosts, g.Sample(rng, fmt.Sprintf("host-%d", i)))
+	}
+	c.Hosts = append(c.Hosts, &Host{
+		ID:               fmt.Sprintf("host-%d", n-1),
+		CPU:              g.CPU[len(g.CPU)-1],
+		RAMMB:            g.RAMMB[len(g.RAMMB)-1],
+		NetLatencyMS:     g.LatencyMS[0],
+		NetBandwidthMbps: g.Bandwidth[len(g.Bandwidth)-1],
+	})
+	return c
+}
+
+// MeanFeatures returns the mean CPU, RAM, bandwidth and latency across the
+// cluster's hosts, used by the evaluation's hardware bucketing (Figure 7).
+func (c *Cluster) MeanFeatures() (cpu, ramMB, bwMbps, latMS float64) {
+	n := float64(len(c.Hosts))
+	if n == 0 {
+		return 0, 0, 0, 0
+	}
+	for _, h := range c.Hosts {
+		cpu += h.CPU
+		ramMB += h.RAMMB
+		bwMbps += h.NetBandwidthMbps
+		latMS += h.NetLatencyMS
+	}
+	return cpu / n, ramMB / n, bwMbps / n, latMS / n
+}

@@ -1,0 +1,94 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer over a fixed set of parameter slices.
+type Adam struct {
+	LR       float64
+	Beta1    float64
+	Beta2    float64
+	Eps      float64
+	WDecay   float64 // decoupled weight decay (AdamW); 0 disables
+	ClipNorm float64 // global gradient norm clip; 0 disables
+
+	params [][]float64
+	grads  [][]float64
+	m      [][]float64
+	v      [][]float64
+	t      int
+}
+
+// NewAdam returns an Adam optimizer for the given parameter/gradient
+// pairs (as returned by MLP.Params).
+func NewAdam(lr float64, params, grads [][]float64) *Adam {
+	a := &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, ClipNorm: 5,
+		params: params, grads: grads,
+	}
+	for _, p := range params {
+		a.m = append(a.m, make([]float64, len(p)))
+		a.v = append(a.v, make([]float64, len(p)))
+	}
+	return a
+}
+
+// Register appends additional parameter/gradient pairs (e.g. from several
+// MLPs composing one model).
+func (a *Adam) Register(params, grads [][]float64) {
+	for i, p := range params {
+		a.params = append(a.params, p)
+		a.grads = append(a.grads, grads[i])
+		a.m = append(a.m, make([]float64, len(p)))
+		a.v = append(a.v, make([]float64, len(p)))
+	}
+}
+
+// Step applies one Adam update using the accumulated gradients, then
+// leaves the gradients untouched (call ZeroGrad on the layers afterwards).
+func (a *Adam) Step() {
+	a.t++
+	if a.ClipNorm > 0 {
+		var norm2 float64
+		for _, g := range a.grads {
+			for _, x := range g {
+				norm2 += x * x
+			}
+		}
+		if norm := math.Sqrt(norm2); norm > a.ClipNorm {
+			scale := a.ClipNorm / norm
+			for _, g := range a.grads {
+				for i := range g {
+					g[i] *= scale
+				}
+			}
+		}
+	}
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for k, p := range a.params {
+		g := a.grads[k]
+		m := a.m[k]
+		v := a.v[k]
+		for i := range p {
+			gi := g[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*gi
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*gi*gi
+			mhat := m[i] / c1
+			vhat := v[i] / c2
+			upd := a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+			if a.WDecay > 0 {
+				upd += a.LR * a.WDecay * p[i]
+			}
+			p[i] -= upd
+		}
+	}
+}
+
+// ZeroGrads clears every registered gradient slice.
+func (a *Adam) ZeroGrads() {
+	for _, g := range a.grads {
+		for i := range g {
+			g[i] = 0
+		}
+	}
+}

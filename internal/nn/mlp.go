@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Linear is a fully connected layer y = W*x + b with gradient buffers.
+type Linear struct {
+	In, Out int
+	W       []float64 // row-major Out x In
+	B       []float64
+	GW      []float64
+	GB      []float64
+}
+
+// NewLinear returns a layer with Kaiming/He-uniform initialized weights.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	l := &Linear{
+		In: in, Out: out,
+		W:  make([]float64, out*in),
+		B:  make([]float64, out),
+		GW: make([]float64, out*in),
+		GB: make([]float64, out),
+	}
+	bound := math.Sqrt(6.0 / float64(in))
+	for i := range l.W {
+		l.W[i] = (rng.Float64()*2 - 1) * bound
+	}
+	return l
+}
+
+// Apply records y = W*x + b on the tape.
+func (l *Linear) Apply(t *Tape, x *Node) *Node {
+	if len(x.Data) != l.In {
+		panic(fmt.Sprintf("nn: Linear input dim %d, want %d", len(x.Data), l.In))
+	}
+	data := make([]float64, l.Out)
+	for o := 0; o < l.Out; o++ {
+		sum := l.B[o]
+		row := l.W[o*l.In : (o+1)*l.In]
+		for i, xi := range x.Data {
+			sum += row[i] * xi
+		}
+		data[o] = sum
+	}
+	out := t.node(data, nil)
+	out.back = func() {
+		for o := 0; o < l.Out; o++ {
+			g := out.Grad[o]
+			if g == 0 {
+				continue
+			}
+			row := l.W[o*l.In : (o+1)*l.In]
+			grow := l.GW[o*l.In : (o+1)*l.In]
+			for i, xi := range x.Data {
+				grow[i] += g * xi
+				x.Grad[i] += g * row[i]
+			}
+			l.GB[o] += g
+		}
+	}
+	return out
+}
+
+// Params returns the parameter and gradient slices of the layer, in
+// matching order, for use by optimizers.
+func (l *Linear) Params() (params, grads [][]float64) {
+	return [][]float64{l.W, l.B}, [][]float64{l.GW, l.GB}
+}
+
+// ZeroGrad clears the gradient buffers.
+func (l *Linear) ZeroGrad() {
+	for i := range l.GW {
+		l.GW[i] = 0
+	}
+	for i := range l.GB {
+		l.GB[i] = 0
+	}
+}
+
+// MLP is a multi-layer perceptron with LeakyReLU activations between
+// layers and a linear final layer.
+type MLP struct {
+	Layers []*Linear
+	Alpha  float64 // LeakyReLU negative slope
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. NewMLP(rng, 16,
+// 32, 32, 1) has two hidden layers of width 32.
+func NewMLP(rng *rand.Rand, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{Alpha: 0.01}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Layers = append(m.Layers, NewLinear(rng, sizes[i], sizes[i+1]))
+	}
+	return m
+}
+
+// Apply records the MLP forward pass on the tape.
+func (m *MLP) Apply(t *Tape, x *Node) *Node {
+	h := x
+	for i, l := range m.Layers {
+		h = l.Apply(t, h)
+		if i+1 < len(m.Layers) {
+			h = t.LeakyReLU(h, m.Alpha)
+		}
+	}
+	return h
+}
+
+// InDim returns the expected input dimension.
+func (m *MLP) InDim() int { return m.Layers[0].In }
+
+// OutDim returns the output dimension.
+func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].Out }
+
+// ZeroGrad clears all layer gradients.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.Layers {
+		l.ZeroGrad()
+	}
+}
+
+// Params returns all parameter/gradient slice pairs of the network.
+func (m *MLP) Params() (params, grads [][]float64) {
+	for _, l := range m.Layers {
+		p, g := l.Params()
+		params = append(params, p...)
+		grads = append(grads, g...)
+	}
+	return params, grads
+}
+
+// NumParams returns the total number of scalar parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += len(l.W) + len(l.B)
+	}
+	return n
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}

@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestScaleGradCheck(t *testing.T) {
+	a := []float64{0.5, -1.5}
+	forward := func() float64 {
+		tape := NewTape()
+		n := tape.Const(a)
+		s := tape.Scale(n, 3)
+		return s.Data[0] + 2*s.Data[1]
+	}
+	tape := NewTape()
+	n := tape.Const(a)
+	s := tape.Scale(n, 3)
+	out := tape.node([]float64{s.Data[0] + 2*s.Data[1]}, nil)
+	out.back = func() {
+		s.Grad[0] += out.Grad[0]
+		s.Grad[1] += 2 * out.Grad[0]
+	}
+	tape.Backward(out)
+	const h = 1e-6
+	for i := range a {
+		orig := a[i]
+		a[i] = orig + h
+		lp := forward()
+		a[i] = orig - h
+		lm := forward()
+		a[i] = orig
+		want := (lp - lm) / (2 * h)
+		if math.Abs(n.Grad[i]-want) > 1e-5 {
+			t.Errorf("Scale grad[%d] = %v, want %v", i, n.Grad[i], want)
+		}
+	}
+}
+
+func TestAddGradFlowsToBothInputs(t *testing.T) {
+	tape := NewTape()
+	a := tape.Const([]float64{1, 2})
+	b := tape.Const([]float64{3, 4})
+	sum := tape.Add(a, b)
+	out := tape.node([]float64{sum.Data[0] + sum.Data[1]}, nil)
+	out.back = func() {
+		sum.Grad[0] += out.Grad[0]
+		sum.Grad[1] += out.Grad[0]
+	}
+	tape.Backward(out)
+	for i := 0; i < 2; i++ {
+		if a.Grad[i] != 1 || b.Grad[i] != 1 {
+			t.Fatalf("Add gradients = %v / %v, want all 1", a.Grad, b.Grad)
+		}
+	}
+}
+
+func TestAdamWeightDecayShrinksParams(t *testing.T) {
+	p := []float64{10}
+	g := []float64{0}
+	opt := NewAdam(0.1, [][]float64{p}, [][]float64{g})
+	opt.WDecay = 0.1
+	opt.ClipNorm = 0
+	for i := 0; i < 50; i++ {
+		opt.Step()
+	}
+	if math.Abs(p[0]) >= 10 {
+		t.Errorf("weight decay did not shrink parameter: %v", p[0])
+	}
+}
+
+func TestAdamRegister(t *testing.T) {
+	p1, g1 := []float64{0}, []float64{1}
+	opt := NewAdam(0.1, [][]float64{p1}, [][]float64{g1})
+	p2, g2 := []float64{0}, []float64{1}
+	opt.Register([][]float64{p2}, [][]float64{g2})
+	opt.Step()
+	if p1[0] == 0 || p2[0] == 0 {
+		t.Errorf("registered params not updated: %v %v", p1[0], p2[0])
+	}
+	opt.ZeroGrads()
+	if g1[0] != 0 || g2[0] != 0 {
+		t.Error("ZeroGrads missed a slice")
+	}
+}
+
+func TestTapeReuseAfterReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP(rng, 2, 4, 1)
+	tape := NewTape()
+	x := []float64{0.5, -0.5}
+	out1 := m.Apply(tape, tape.Const(x))
+	v1 := out1.Data[0]
+	tape.Reset()
+	out2 := m.Apply(tape, tape.Const(x))
+	if out2.Data[0] != v1 {
+		t.Errorf("reused tape changed forward value: %v vs %v", out2.Data[0], v1)
+	}
+	// Backward on the reused tape must work and produce gradients.
+	m.ZeroGrad()
+	tape.Backward(MSLELoss(tape, out2, 3))
+	_, grads := m.Params()
+	nonzero := false
+	for _, g := range grads {
+		for _, v := range g {
+			if v != 0 {
+				nonzero = true
+			}
+		}
+	}
+	if !nonzero {
+		t.Error("no gradients after backward on reused tape")
+	}
+}
+
+func TestLeakyReLUNegativeSlope(t *testing.T) {
+	tape := NewTape()
+	n := tape.Const([]float64{-2, 2})
+	r := tape.LeakyReLU(n, 0.1)
+	if r.Data[0] != -0.2 || r.Data[1] != 2 {
+		t.Errorf("LeakyReLU = %v, want [-0.2 2]", r.Data)
+	}
+}
+
+func TestBCEExtremeLogitsFinite(t *testing.T) {
+	for _, x := range []float64{-500, 0, 500} {
+		for _, y := range []float64{0, 1} {
+			tape := NewTape()
+			logit := tape.Const([]float64{x})
+			l := BCEWithLogitsLoss(tape, logit, y)
+			if math.IsNaN(l.Data[0]) || math.IsInf(l.Data[0], 0) {
+				t.Errorf("BCE(%v, %v) = %v", x, y, l.Data[0])
+			}
+			if l.Data[0] < 0 {
+				t.Errorf("BCE(%v, %v) = %v, want >= 0", x, y, l.Data[0])
+			}
+		}
+	}
+}
+
+func TestMSLEZeroAtPerfectPrediction(t *testing.T) {
+	tape := NewTape()
+	z := tape.Const([]float64{math.Log1p(42)})
+	l := MSLELoss(tape, z, 42)
+	if l.Data[0] > 1e-12 {
+		t.Errorf("loss at perfect prediction = %v", l.Data[0])
+	}
+}

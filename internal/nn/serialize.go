@@ -1,0 +1,54 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// mlpJSON is the serialized form of an MLP.
+type mlpJSON struct {
+	Alpha  float64      `json:"alpha"`
+	Layers []linearJSON `json:"layers"`
+}
+
+type linearJSON struct {
+	In  int       `json:"in"`
+	Out int       `json:"out"`
+	W   []float64 `json:"w"`
+	B   []float64 `json:"b"`
+}
+
+// MarshalJSON encodes the MLP's architecture and weights.
+func (m *MLP) MarshalJSON() ([]byte, error) {
+	j := mlpJSON{Alpha: m.Alpha}
+	for _, l := range m.Layers {
+		j.Layers = append(j.Layers, linearJSON{In: l.In, Out: l.Out, W: l.W, B: l.B})
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes an MLP, reconstructing gradient buffers.
+func (m *MLP) UnmarshalJSON(data []byte) error {
+	var j mlpJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	m.Alpha = j.Alpha
+	m.Layers = nil
+	for _, lj := range j.Layers {
+		if len(lj.W) != lj.In*lj.Out || len(lj.B) != lj.Out {
+			return fmt.Errorf("nn: corrupt layer: %dx%d with %d weights %d biases",
+				lj.Out, lj.In, len(lj.W), len(lj.B))
+		}
+		m.Layers = append(m.Layers, &Linear{
+			In: lj.In, Out: lj.Out,
+			W: lj.W, B: lj.B,
+			GW: make([]float64, len(lj.W)),
+			GB: make([]float64, len(lj.B)),
+		})
+	}
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("nn: MLP with no layers")
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Package nn is a small, dependency-free neural network library built for
+// the COSTREAM reproduction: a tape-based reverse-mode automatic
+// differentiation engine over float64 vectors, multi-layer perceptrons,
+// the Adam optimizer and the losses used by the paper (MSLE for the
+// regression cost metrics, binary cross-entropy for backpressure and
+// query-success classification).
+//
+// The design favors dynamic computation graphs: COSTREAM's message-passing
+// GNN builds a different graph for every query, so every forward pass
+// records its operations on a fresh Tape, and Backward replays the tape in
+// reverse.
+package nn
+
+// Node is one value (a vector) in the computation graph, together with its
+// gradient accumulator and the backward closure that propagates gradients
+// to its inputs.
+type Node struct {
+	Data []float64
+	Grad []float64
+	back func()
+}
+
+// Tape records the operations of one forward pass in execution order.
+// The zero value is ready to use.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset discards all recorded nodes so the tape can be reused without
+// reallocating.
+func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+// Len returns the number of recorded nodes.
+func (t *Tape) Len() int { return len(t.nodes) }
+
+func (t *Tape) node(data []float64, back func()) *Node {
+	n := &Node{Data: data, Grad: make([]float64, len(data)), back: back}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Const records a leaf node that requires no gradient propagation (its
+// gradient is still accumulated but goes nowhere).
+func (t *Tape) Const(data []float64) *Node {
+	return t.node(data, nil)
+}
+
+// Backward seeds the gradient of the scalar output node with 1 and
+// propagates gradients through the tape in reverse recording order.
+// Parameter gradients accumulate into the layers' gradient buffers.
+func (t *Tape) Backward(out *Node) {
+	if len(out.Data) != 1 {
+		panic("nn: Backward requires a scalar output node")
+	}
+	out.Grad[0] = 1
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		if n := t.nodes[i]; n.back != nil {
+			n.back()
+		}
+	}
+}
+
+// Add records elementwise a+b.
+func (t *Tape) Add(a, b *Node) *Node {
+	if len(a.Data) != len(b.Data) {
+		panic("nn: Add dimension mismatch")
+	}
+	data := make([]float64, len(a.Data))
+	for i := range data {
+		data[i] = a.Data[i] + b.Data[i]
+	}
+	out := t.node(data, nil)
+	out.back = func() {
+		for i, g := range out.Grad {
+			a.Grad[i] += g
+			b.Grad[i] += g
+		}
+	}
+	return out
+}
+
+// Sum records the elementwise sum of one or more equally sized vectors.
+func (t *Tape) Sum(vs ...*Node) *Node {
+	if len(vs) == 0 {
+		panic("nn: Sum of nothing")
+	}
+	dim := len(vs[0].Data)
+	data := make([]float64, dim)
+	for _, v := range vs {
+		if len(v.Data) != dim {
+			panic("nn: Sum dimension mismatch")
+		}
+		for i, x := range v.Data {
+			data[i] += x
+		}
+	}
+	out := t.node(data, nil)
+	out.back = func() {
+		for _, v := range vs {
+			for i, g := range out.Grad {
+				v.Grad[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// Scale records c*a for a scalar constant c.
+func (t *Tape) Scale(a *Node, c float64) *Node {
+	data := make([]float64, len(a.Data))
+	for i, x := range a.Data {
+		data[i] = c * x
+	}
+	out := t.node(data, nil)
+	out.back = func() {
+		for i, g := range out.Grad {
+			a.Grad[i] += c * g
+		}
+	}
+	return out
+}
+
+// Concat records the concatenation of the input vectors.
+func (t *Tape) Concat(vs ...*Node) *Node {
+	total := 0
+	for _, v := range vs {
+		total += len(v.Data)
+	}
+	data := make([]float64, 0, total)
+	for _, v := range vs {
+		data = append(data, v.Data...)
+	}
+	out := t.node(data, nil)
+	out.back = func() {
+		off := 0
+		for _, v := range vs {
+			for i := range v.Data {
+				v.Grad[i] += out.Grad[off+i]
+			}
+			off += len(v.Data)
+		}
+	}
+	return out
+}
+
+// LeakyReLU records max(x, alpha*x) elementwise.
+func (t *Tape) LeakyReLU(a *Node, alpha float64) *Node {
+	data := make([]float64, len(a.Data))
+	for i, x := range a.Data {
+		if x >= 0 {
+			data[i] = x
+		} else {
+			data[i] = alpha * x
+		}
+	}
+	out := t.node(data, nil)
+	out.back = func() {
+		for i, g := range out.Grad {
+			if a.Data[i] >= 0 {
+				a.Grad[i] += g
+			} else {
+				a.Grad[i] += alpha * g
+			}
+		}
+	}
+	return out
+}
+
+// Sigmoid records 1/(1+exp(-x)) elementwise.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	data := make([]float64, len(a.Data))
+	for i, x := range a.Data {
+		data[i] = sigmoid(x)
+	}
+	out := t.node(data, nil)
+	out.back = func() {
+		for i, g := range out.Grad {
+			s := out.Data[i]
+			a.Grad[i] += g * s * (1 - s)
+		}
+	}
+	return out
+}

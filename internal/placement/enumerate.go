@@ -1,0 +1,148 @@
+// Package placement solves the initial operator placement problem with
+// COSTREAM-style cost estimates (Section V of the paper): a heuristic
+// enumeration strategy generates candidate placements obeying the
+// IoT-scenario rules of Figure 5 (operator co-location allowed, increasing
+// computing capability along the data flow, acyclic placements), a
+// cost-model-driven optimizer selects the best candidate, and an online
+// monitoring baseline (after Aniello et al. [1]) provides the Exp 2b
+// comparison.
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+
+	"costream/internal/hardware"
+	"costream/internal/sim"
+	"costream/internal/stream"
+)
+
+// RandomValid draws one placement satisfying the three heuristic rules of
+// Figure 5:
+//
+//  1. co-location of multiple operators on one host is allowed,
+//  2. along the data flow, host capability bins never decrease,
+//  3. once the data flow leaves a host, it never returns to it.
+//
+// It retries on dead ends and reports an error when the cluster cannot
+// satisfy the rules for this query.
+func RandomValid(rng *rand.Rand, q *stream.Query, c *hardware.Cluster) (sim.Placement, error) {
+	const attempts = 64
+	bins := c.Bins()
+	order, err := q.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for a := 0; a < attempts; a++ {
+		p, ok := tryPlacement(rng, q, c, bins, order)
+		if ok {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("placement: no valid placement found for %d ops on %d hosts",
+		len(q.Ops), len(c.Hosts))
+}
+
+func tryPlacement(rng *rand.Rand, q *stream.Query, c *hardware.Cluster, bins []hardware.Bin, order []int) (sim.Placement, bool) {
+	n := len(q.Ops)
+	p := make(sim.Placement, n)
+	for i := range p {
+		p[i] = -1
+	}
+	// visited[i] is the set of hosts the data of op i's output has passed
+	// through, for the acyclicity rule.
+	visited := make([]map[int]bool, n)
+	for _, v := range order {
+		ups := q.Upstream(v)
+		minBin := hardware.BinEdge
+		banned := map[int]bool{}
+		allowedSame := map[int]bool{}
+		for _, u := range ups {
+			h := p[u]
+			if bins[h] > minBin {
+				minBin = bins[h]
+			}
+			allowedSame[h] = true
+			for hv := range visited[u] {
+				banned[hv] = true
+			}
+		}
+		var choices []int
+		for h := range c.Hosts {
+			if bins[h] < minBin {
+				continue
+			}
+			// Staying on an immediate upstream host is always fine
+			// (co-location); revisiting an earlier host is not.
+			if banned[h] && !allowedSame[h] {
+				continue
+			}
+			choices = append(choices, h)
+		}
+		if len(choices) == 0 {
+			return nil, false
+		}
+		h := choices[rng.Intn(len(choices))]
+		p[v] = h
+		vis := map[int]bool{h: true}
+		for _, u := range ups {
+			for hv := range visited[u] {
+				vis[hv] = true
+			}
+		}
+		visited[v] = vis
+	}
+	return p, true
+}
+
+// Valid reports whether a placement satisfies the Figure 5 rules.
+func Valid(q *stream.Query, c *hardware.Cluster, p sim.Placement) bool {
+	if p.Validate(q, c) != nil {
+		return false
+	}
+	bins := c.Bins()
+	order, err := q.TopoOrder()
+	if err != nil {
+		return false
+	}
+	visited := make([]map[int]bool, len(q.Ops))
+	for _, v := range order {
+		h := p[v]
+		vis := map[int]bool{h: true}
+		for _, u := range q.Upstream(v) {
+			if bins[p[u]] > bins[h] {
+				return false // capability decreased along the flow
+			}
+			if p[u] != h && visited[u][h] {
+				return false // returned to a previously visited host
+			}
+			for hv := range visited[u] {
+				vis[hv] = true
+			}
+		}
+		visited[v] = vis
+	}
+	return true
+}
+
+// Enumerate draws up to k distinct valid placement candidates. Fewer than
+// k are returned when the space is smaller or repeatedly sampled.
+func Enumerate(rng *rand.Rand, q *stream.Query, c *hardware.Cluster, k int) []sim.Placement {
+	seen := make(map[string]bool, k)
+	var out []sim.Placement
+	misses := 0
+	for len(out) < k && misses < 8*k+64 {
+		p, err := RandomValid(rng, q, c)
+		if err != nil {
+			break
+		}
+		key := fmt.Sprint([]int(p))
+		if seen[key] {
+			misses++
+			continue
+		}
+		seen[key] = true
+		out = append(out, p)
+	}
+	return out
+}

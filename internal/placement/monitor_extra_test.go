@@ -1,0 +1,135 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"costream/internal/hardware"
+	"costream/internal/sim"
+	"costream/internal/stream"
+)
+
+func TestMonitoringTerminatesAndTracksTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	q := testQuery()
+	c := testCluster()
+	initial, err := RandomValid(rng, q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.DurationS, cfg.WarmupS = 15, 3
+	mcfg := MonitorConfig{IntervalS: 10, MigrationCostS: 5, MaxSteps: 6, SimCfg: cfg}
+	steps, err := OnlineMonitoring(rng, q, c, initial, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) > mcfg.MaxSteps+1 {
+		t.Fatalf("%d steps exceed MaxSteps+1", len(steps))
+	}
+	// Elapsed time accounting: every non-initial step costs at least the
+	// monitoring interval plus one migration.
+	for i := 1; i < len(steps); i++ {
+		minElapsed := steps[i-1].ElapsedS + mcfg.IntervalS + mcfg.MigrationCostS
+		if steps[i].ElapsedS < minElapsed-1e-9 {
+			t.Errorf("step %d elapsed %v < minimum %v", i, steps[i].ElapsedS, minElapsed)
+		}
+	}
+}
+
+func TestMonitoringRevertedMovesAreNotRepeated(t *testing.T) {
+	// With a single host no move is possible: exactly one step.
+	rng := rand.New(rand.NewSource(12))
+	q := testQuery()
+	c := &hardware.Cluster{Hosts: []*hardware.Host{
+		{ID: "solo", CPU: 800, RAMMB: 32000, NetLatencyMS: 1, NetBandwidthMbps: 10000},
+	}}
+	initial := sim.Placement{0, 0, 0, 0, 0}
+	cfg := sim.DefaultConfig()
+	cfg.DurationS, cfg.WarmupS = 10, 2
+	steps, err := OnlineMonitoring(rng, q, c, initial, DefaultMonitorConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 {
+		t.Fatalf("single-host monitoring took %d steps, want 1", len(steps))
+	}
+}
+
+func TestRebalanceProposesValidMove(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	q := testQuery()
+	c := testCluster()
+	p, err := RandomValid(rng, q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.DurationS, cfg.WarmupS = 10, 2
+	m, err := sim.Run(q, c, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, move, moved := rebalanceOnce(q, c, p, m, map[[2]int]bool{})
+	if !moved {
+		t.Skip("no move proposed for this placement")
+	}
+	if !Valid(q, c, next) {
+		t.Fatal("proposed move yields invalid placement")
+	}
+	if next[move[0]] != move[1] {
+		t.Fatal("reported move does not match placement change")
+	}
+	// Banning the move must yield a different proposal (or none).
+	banned := map[[2]int]bool{move: true}
+	next2, move2, moved2 := rebalanceOnce(q, c, p, m, banned)
+	if moved2 && move2 == move {
+		t.Fatal("banned move proposed again")
+	}
+	_ = next2
+}
+
+func TestHeuristicInitialIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	gen := testQuery()
+	c := testCluster()
+	for i := 0; i < 20; i++ {
+		p, err := HeuristicInitial(rng, gen, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Valid(gen, c, p) {
+			t.Fatalf("heuristic initial placement %v invalid", p)
+		}
+	}
+}
+
+func TestSimOracleMatchesSim(t *testing.T) {
+	q := testQuery()
+	c := testCluster()
+	p := sim.Placement{0, 0, 1, 2, 3}
+	if !Valid(q, c, p) {
+		// fall back to a generated valid placement
+		var err error
+		p, err = RandomValid(rand.New(rand.NewSource(15)), q, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := sim.DefaultConfig()
+	cfg.DurationS, cfg.WarmupS = 10, 2
+	oracle := &SimOracle{Cfg: cfg}
+	pc, err := oracle.PredictPlacement(q, c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run(q, c, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.ProcLatencyMS != m.ProcLatencyMS || pc.Success != m.Success {
+		t.Error("oracle must match simulator exactly")
+	}
+}
+
+var _ = stream.Query{}

@@ -1,0 +1,152 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"costream/internal/hardware"
+	"costream/internal/sim"
+	"costream/internal/stream"
+)
+
+// PredCosts is a predicted cost vector for one placement candidate,
+// mirroring the paper's five cost metrics.
+type PredCosts struct {
+	ThroughputTPS float64
+	ProcLatencyMS float64
+	E2ELatencyMS  float64
+	Success       bool
+	Backpressured bool
+}
+
+// Predictor estimates the execution costs of a query under a placement.
+// COSTREAM's ensemble satisfies this, as does the flat-vector baseline and
+// an oracle wrapping the simulator.
+type Predictor interface {
+	PredictPlacement(q *stream.Query, c *hardware.Cluster, p sim.Placement) (PredCosts, error)
+}
+
+// Objective selects the target cost metric for placement optimization.
+type Objective int
+
+// Optimization objectives.
+const (
+	MinProcLatency Objective = iota
+	MinE2ELatency
+	MaxThroughput
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MinProcLatency:
+		return "min-processing-latency"
+	case MinE2ELatency:
+		return "min-e2e-latency"
+	case MaxThroughput:
+		return "max-throughput"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Result is the outcome of an Optimize call.
+type Result struct {
+	Placement sim.Placement
+	Index     int // index into the candidate slice
+	Costs     PredCosts
+	// Filtered reports how many candidates the sanity check (predicted
+	// failure or backpressure) removed.
+	Filtered int
+}
+
+// Optimize scores every candidate with the predictor, removes candidates
+// predicted to fail or be backpressured (the paper's sanity check), and
+// returns the remaining candidate optimizing the objective. If the filter
+// removes everything, the best candidate overall is returned, preferring
+// lower predicted cost.
+func Optimize(pred Predictor, q *stream.Query, c *hardware.Cluster, candidates []sim.Placement, obj Objective) (*Result, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("placement: no candidates to optimize over")
+	}
+	type scored struct {
+		idx   int
+		costs PredCosts
+		ok    bool
+	}
+	all := make([]scored, 0, len(candidates))
+	filtered := 0
+	for i, p := range candidates {
+		costs, err := pred.PredictPlacement(q, c, p)
+		if err != nil {
+			return nil, fmt.Errorf("placement: predicting candidate %d: %w", i, err)
+		}
+		ok := costs.Success && !costs.Backpressured
+		if !ok {
+			filtered++
+		}
+		all = append(all, scored{idx: i, costs: costs, ok: ok})
+	}
+	score := func(costs PredCosts) float64 {
+		switch obj {
+		case MaxThroughput:
+			return -costs.ThroughputTPS
+		case MinE2ELatency:
+			return costs.E2ELatencyMS
+		default:
+			return costs.ProcLatencyMS
+		}
+	}
+	best := -1
+	bestScore := math.Inf(1)
+	// First pass: only sane candidates.
+	for _, s := range all {
+		if s.ok && score(s.costs) < bestScore {
+			bestScore = score(s.costs)
+			best = s.idx
+		}
+	}
+	if best < 0 {
+		// Everything filtered: fall back to the cheapest prediction.
+		for _, s := range all {
+			if score(s.costs) < bestScore {
+				bestScore = score(s.costs)
+				best = s.idx
+			}
+		}
+	}
+	return &Result{
+		Placement: candidates[best],
+		Index:     best,
+		Costs:     all[best].costs,
+		Filtered:  filtered,
+	}, nil
+}
+
+// SimOracle is a Predictor that runs the execution simulator: it provides
+// perfect cost knowledge and is used by tests and as an upper bound.
+type SimOracle struct {
+	Cfg sim.Config
+}
+
+// PredictPlacement implements Predictor by simulating the placement.
+func (o *SimOracle) PredictPlacement(q *stream.Query, c *hardware.Cluster, p sim.Placement) (PredCosts, error) {
+	m, err := sim.Run(q, c, p, o.Cfg)
+	if err != nil {
+		return PredCosts{}, err
+	}
+	return PredCosts{
+		ThroughputTPS: m.ThroughputTPS,
+		ProcLatencyMS: m.ProcLatencyMS,
+		E2ELatencyMS:  m.E2ELatencyMS,
+		Success:       m.Success,
+		Backpressured: m.Backpressured,
+	}, nil
+}
+
+// HeuristicInitial returns the plain heuristic initial placement used as
+// the Exp 2a baseline denominator: the first valid random draw under the
+// Figure 5 rules, without any cost-based selection (following [32]).
+func HeuristicInitial(rng *rand.Rand, q *stream.Query, c *hardware.Cluster) (sim.Placement, error) {
+	return RandomValid(rng, q, c)
+}

@@ -1,0 +1,109 @@
+// Package qerror implements the evaluation metrics of the paper: the
+// q-error for regression cost metrics (median and tail quantiles) and
+// classification accuracy for the binary metrics.
+package qerror
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Epsilon guards against division by zero in q-error computation; the
+// simulator reports latencies in milliseconds and throughput in tuples/s,
+// so values this small are effectively zero.
+const Epsilon = 1e-3
+
+// Q computes the q-error q(c, chat) = max(c/chat, chat/c) >= 1 between a
+// true cost and its prediction (1 is a perfect estimate). Non-positive
+// values are clamped to Epsilon, following common practice.
+func Q(truth, pred float64) float64 {
+	if math.IsNaN(truth) || math.IsNaN(pred) {
+		return math.Inf(1)
+	}
+	if truth < Epsilon {
+		truth = Epsilon
+	}
+	if pred < Epsilon {
+		pred = Epsilon
+	}
+	q := truth / pred
+	if q < 1 {
+		q = 1 / q
+	}
+	return q
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) of the values using
+// nearest-rank interpolation. It returns NaN for an empty slice.
+func Quantile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), values...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 1 {
+		return cp[len(cp)-1]
+	}
+	pos := p * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Summary holds the q-error quantiles the paper reports.
+type Summary struct {
+	Median float64 // Q50
+	P95    float64 // Q95
+	Max    float64
+	N      int
+}
+
+// Summarize computes Q50/Q95/max over (truth, prediction) pairs.
+func Summarize(truths, preds []float64) (Summary, error) {
+	if len(truths) != len(preds) {
+		return Summary{}, fmt.Errorf("qerror: %d truths vs %d predictions", len(truths), len(preds))
+	}
+	if len(truths) == 0 {
+		return Summary{}, fmt.Errorf("qerror: no samples")
+	}
+	qs := make([]float64, len(truths))
+	for i := range truths {
+		qs[i] = Q(truths[i], preds[i])
+	}
+	s := Summary{
+		Median: Quantile(qs, 0.5),
+		P95:    Quantile(qs, 0.95),
+		Max:    Quantile(qs, 1),
+		N:      len(qs),
+	}
+	return s, nil
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("Q50=%.2f Q95=%.2f (n=%d)", s.Median, s.P95, s.N)
+}
+
+// Accuracy returns the fraction of correct binary predictions.
+func Accuracy(truths, preds []bool) (float64, error) {
+	if len(truths) != len(preds) {
+		return 0, fmt.Errorf("qerror: %d truths vs %d predictions", len(truths), len(preds))
+	}
+	if len(truths) == 0 {
+		return 0, fmt.Errorf("qerror: no samples")
+	}
+	correct := 0
+	for i := range truths {
+		if truths[i] == preds[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truths)), nil
+}

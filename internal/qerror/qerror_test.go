@@ -1,0 +1,115 @@
+package qerror
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQBasics(t *testing.T) {
+	if q := Q(10, 10); q != 1 {
+		t.Errorf("perfect estimate q = %v, want 1", q)
+	}
+	if q := Q(10, 5); q != 2 {
+		t.Errorf("Q(10,5) = %v, want 2", q)
+	}
+	if q := Q(5, 10); q != 2 {
+		t.Errorf("Q(5,10) = %v, want 2", q)
+	}
+	if q := Q(0, 1); q != 1/Epsilon {
+		t.Errorf("Q(0,1) = %v, want %v", q, 1/Epsilon)
+	}
+	if q := Q(math.NaN(), 1); !math.IsInf(q, 1) {
+		t.Errorf("Q(NaN,1) = %v, want +Inf", q)
+	}
+}
+
+func TestQProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if math.IsInf(a, 0) || math.IsInf(b, 0) || a > 1e150 || b > 1e150 {
+			return true
+		}
+		q := Q(a, b)
+		if q < 1 {
+			return false
+		}
+		// Symmetry.
+		return Q(a, b) == Q(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	if m := Quantile(vals, 0.5); m != 3 {
+		t.Errorf("median = %v, want 3", m)
+	}
+	if m := Quantile(vals, 0); m != 1 {
+		t.Errorf("p0 = %v, want 1", m)
+	}
+	if m := Quantile(vals, 1); m != 5 {
+		t.Errorf("p1 = %v, want 5", m)
+	}
+	if m := Quantile(vals, 0.75); m != 4 {
+		t.Errorf("p75 = %v, want 4", m)
+	}
+	if m := Quantile([]float64{2, 4}, 0.5); m != 3 {
+		t.Errorf("interpolated median = %v, want 3", m)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile must be NaN")
+	}
+	// Input must not be mutated.
+	in := []float64{3, 1, 2}
+	Quantile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	truths := []float64{10, 10, 10, 10}
+	preds := []float64{10, 20, 5, 10}
+	s, err := Summarize(truths, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 {
+		t.Errorf("N = %d, want 4", s.N)
+	}
+	// q-errors: 1, 2, 2, 1 -> median 1.5, max 2.
+	if s.Median != 1.5 {
+		t.Errorf("median = %v, want 1.5", s.Median)
+	}
+	if s.Max != 2 {
+		t.Errorf("max = %v, want 2", s.Max)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	if _, err := Summarize([]float64{1}, []float64{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Summarize(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	a, err := Accuracy([]bool{true, false, true, true}, []bool{true, true, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 0.5 {
+		t.Errorf("accuracy = %v, want 0.5", a)
+	}
+	if _, err := Accuracy([]bool{true}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Accuracy(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}

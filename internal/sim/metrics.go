@@ -1,0 +1,59 @@
+package sim
+
+import "fmt"
+
+// Metrics are the five cost metrics of the paper (Section IV-A) plus
+// diagnostic detail used by the placement baselines and the tests.
+type Metrics struct {
+	// ThroughputTPS is T: output tuples arriving at the sink per second
+	// during the measurement window (Definition 1).
+	ThroughputTPS float64
+	// ProcLatencyMS is Lp: ingestion-to-sink latency of an output tuple,
+	// measured from the oldest contributing input tuple (Definition 2).
+	ProcLatencyMS float64
+	// E2ELatencyMS is Le: Lp plus waiting time in the upstream message
+	// broker (Definition 3).
+	E2ELatencyMS float64
+	// Backpressured is RO: whether tuples queued up in the broker during
+	// execution (Definition 4). Note the paper encodes occurrence as
+	// RO=0; this implementation uses the natural boolean (true =
+	// backpressure occurred) and keeps the encoding at the model layer.
+	Backpressured bool
+	// BackpressureRate is R: the summed backlog growth rate over all
+	// backpressured streams, in tuples/s.
+	BackpressureRate float64
+	// Success is S: whether at least one tuple reached the sink and the
+	// query did not crash (Definition 5).
+	Success bool
+	// Crashed reports an unsuccessful run caused by memory exhaustion
+	// (GC death), as opposed to a logically empty result.
+	Crashed bool
+
+	// SinkTuples is the absolute number of tuples that reached the sink
+	// during the measurement window.
+	SinkTuples float64
+	// PerOp holds per-operator runtime statistics (indexed like the
+	// query's operators); used by the online-monitoring baseline.
+	PerOp []OpStats
+	// HostMemPressure is used/available memory per host (indexed like
+	// the cluster's hosts).
+	HostMemPressure []float64
+}
+
+// OpStats are per-operator runtime statistics averaged over the
+// measurement window. The online monitoring baseline (Exp 2b) consumes
+// these, mirroring the runtime statistics collected in [1].
+type OpStats struct {
+	Host        int     // host index the operator ran on
+	InRate      float64 // tuples/s arriving
+	OutRate     float64 // tuples/s emitted
+	ServiceRate float64 // tuples/s the operator could process at its CPU share
+	CPUUtil     float64 // fraction of its host's cores consumed
+	AvgQueue    float64 // time-averaged input queue length (tuples)
+	NetOutMbps  float64 // outgoing network traffic created by this operator
+}
+
+func (m *Metrics) String() string {
+	return fmt.Sprintf("T=%.1f ev/s Lp=%.1f ms Le=%.1f ms backpressure=%v success=%v",
+		m.ThroughputTPS, m.ProcLatencyMS, m.E2ELatencyMS, m.Backpressured, m.Success)
+}
