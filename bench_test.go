@@ -20,9 +20,11 @@ import (
 	"costream/internal/dataset"
 	"costream/internal/experiments"
 	"costream/internal/gnn"
+	"costream/internal/hardware"
 	"costream/internal/nn"
 	"costream/internal/placement"
 	"costream/internal/sim"
+	"costream/internal/stream"
 	"costream/internal/workload"
 )
 
@@ -290,6 +292,155 @@ func BenchmarkGNNForward(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t := nn.NewTape()
 		if _, err := net.Forward(t, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGNNInfer measures the tape-free inference pass used by cost
+// prediction and placement scoring (same math as Forward, no autodiff
+// bookkeeping).
+func BenchmarkGNNInfer(b *testing.B) {
+	gen := workload.New(workload.DefaultConfig(8))
+	q := gen.QueryOfClass(4) // 3-way join
+	c := gen.Cluster()
+	rng := rand.New(rand.NewSource(8))
+	p, err := placement.RandomValid(rng, q, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	feat := core.Featurizer{}
+	g, err := feat.BuildGraph(q, c, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := gnn.DefaultConfig(feat.FeatDims())
+	cfg.Hidden = 32
+	net, err := gnn.New(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Infer(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// optimizeBench holds the shared fixture of the batched-optimizer
+// benchmarks: a small trained five-metric predictor plus a fixed query,
+// cluster and candidate set. Trained once per process.
+var (
+	optBenchOnce sync.Once
+	optBenchErr  error
+	optBenchPred *core.Predictor
+	optBenchQ    *stream.Query
+	optBenchC    *hardware.Cluster
+	optBenchCand []sim.Placement
+)
+
+func optimizeBenchSetup(b *testing.B) {
+	b.Helper()
+	optBenchOnce.Do(func() {
+		var corpus *dataset.Corpus
+		corpus, optBenchErr = dataset.Build(dataset.BuildConfig{
+			N: 200, Seed: 99, Gen: workload.DefaultConfig(99), Sim: sim.DefaultConfig(),
+		})
+		if optBenchErr != nil {
+			return
+		}
+		train, val, _ := corpus.Split(0.8, 0.1, 99)
+		cfg := core.DefaultTrainConfig(99)
+		cfg.Epochs, cfg.Patience, cfg.Hidden = 3, 0, 24
+		optBenchPred, optBenchErr = core.TrainPredictor(train, val, core.PredictorConfig{
+			Train: cfg, EnsembleSize: 3,
+		})
+		if optBenchErr != nil {
+			return
+		}
+		gen := workload.New(workload.DefaultConfig(10))
+		optBenchQ = gen.QueryOfClass(4) // 3-way join
+		optBenchC = gen.Cluster()
+		rng := rand.New(rand.NewSource(10))
+		optBenchCand = placement.Enumerate(rng, optBenchQ, optBenchC, 64)
+		if len(optBenchCand) == 0 {
+			optBenchErr = fmt.Errorf("no placement candidates for benchmark")
+		}
+	})
+	if optBenchErr != nil {
+		b.Fatal(optBenchErr)
+	}
+}
+
+// serialOnly hides the BatchPredictor interface so Optimize falls back to
+// the per-candidate scoring path — the pre-batching behavior, used as the
+// speedup baseline.
+type serialOnly struct{ p placement.Predictor }
+
+func (s serialOnly) PredictPlacement(q *stream.Query, c *hardware.Cluster, p sim.Placement) (placement.PredCosts, error) {
+	return s.p.PredictPlacement(q, c, p)
+}
+
+// BenchmarkPredictSerial measures per-candidate PredictPlacement scoring:
+// every candidate is featurized once per ensemble member and metric
+// (5 metrics x 3 members = 15 graph builds per candidate).
+func BenchmarkPredictSerial(b *testing.B) {
+	optimizeBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range optBenchCand {
+			if _, err := optBenchPred.PredictPlacement(optBenchQ, optBenchC, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPredictBatch measures the batched scoring path: each candidate
+// is featurized once, the graph is shared across all ensemble members and
+// metrics, and the placement-invariant query/cluster features are cached
+// across the whole candidate set.
+func BenchmarkPredictBatch(b *testing.B) {
+	optimizeBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optBenchPred.PredictBatch(optBenchQ, optBenchC, optBenchCand); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeSerial measures the pre-batching optimizer: one
+// worker, per-candidate prediction. Baseline for BenchmarkOptimizeBatch.
+func BenchmarkOptimizeSerial(b *testing.B) {
+	optimizeBenchSetup(b)
+	pred := serialOnly{optBenchPred}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := placement.OptimizeOpts(pred, optBenchQ, optBenchC, optBenchCand,
+			placement.MinProcLatency, placement.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeBatch measures the batched, concurrent optimizer:
+// candidate chunks scored through PredictBatch by a GOMAXPROCS-bounded
+// worker pool with a deterministic ordered merge. On a multi-core runner
+// this combines the featurize-once win with near-linear scaling over
+// BenchmarkOptimizeSerial.
+func BenchmarkOptimizeBatch(b *testing.B) {
+	optimizeBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := placement.OptimizeOpts(optBenchPred, optBenchQ, optBenchC, optBenchCand,
+			placement.MinProcLatency, placement.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

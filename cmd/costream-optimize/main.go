@@ -27,6 +27,7 @@ func main() {
 		traces     = flag.Int("traces", 800, "training corpus size")
 		candidates = flag.Int("candidates", 16, "placement candidates to enumerate")
 		epochs     = flag.Int("epochs", 25, "training epochs")
+		workers    = flag.Int("workers", 0, "concurrent candidate-scoring workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -60,7 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	best, predicted, err := model.OptimizePlacement(q, cluster, *candidates, costream.MinProcLatency, *seed+3)
+	best, predicted, err := model.OptimizePlacementWith(q, cluster, *candidates, costream.MinProcLatency, *seed+3, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -205,18 +205,35 @@ func (m *Model) PredictCosts(q *Query, c *Cluster, p Placement) (Costs, error) {
 	return m.pred.PredictPlacement(q, c, p)
 }
 
+// PredictCostsBatch scores many placement candidates in one call,
+// featurizing each candidate once and sharing the placement-invariant
+// query and cluster features across the batch. Results match per-candidate
+// PredictCosts calls exactly.
+func (m *Model) PredictCostsBatch(q *Query, c *Cluster, candidates []Placement) ([]Costs, error) {
+	return m.pred.PredictBatch(q, c, candidates)
+}
+
 // OptimizePlacement enumerates k heuristic placement candidates
 // (co-location allowed, increasing capability bins, acyclic — Figure 5),
 // filters out candidates predicted to fail or backpressure, and returns
 // the one optimizing the objective together with its predicted costs.
+// Candidates are scored in batches by a worker pool sized to GOMAXPROCS;
+// use OptimizePlacementWith to bound it explicitly.
 func (m *Model) OptimizePlacement(q *Query, c *Cluster, k int, obj Objective, seed int64) (Placement, Costs, error) {
+	return m.OptimizePlacementWith(q, c, k, obj, seed, 0)
+}
+
+// OptimizePlacementWith is OptimizePlacement with an explicit bound on
+// the number of concurrent scoring workers (<= 0 selects GOMAXPROCS).
+// The chosen placement is independent of the worker count.
+func (m *Model) OptimizePlacementWith(q *Query, c *Cluster, k int, obj Objective, seed int64, workers int) (Placement, Costs, error) {
 	rng := rand.New(rand.NewSource(seed))
 	cands := placement.Enumerate(rng, q, c, k)
 	if len(cands) == 0 {
 		return nil, Costs{}, fmt.Errorf("costream: no valid placement candidates for %d operators on %d hosts",
 			q.NumOps(), c.NumHosts())
 	}
-	res, err := placement.Optimize(m.pred, q, c, cands, obj)
+	res, err := placement.OptimizeOpts(m.pred, q, c, cands, obj, placement.Options{Workers: workers})
 	if err != nil {
 		return nil, Costs{}, err
 	}

@@ -1,0 +1,3 @@
+module costream
+
+go 1.24

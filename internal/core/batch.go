@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"costream/internal/gnn"
+	"costream/internal/hardware"
+	"costream/internal/placement"
+	"costream/internal/sim"
+	"costream/internal/stream"
+)
+
+// BatchFeaturizer amortizes graph construction over many placement
+// candidates for a fixed (query, cluster) pair: the operator nodes, their
+// feature vectors and the data-flow edges are placement-invariant and
+// computed once, as are the per-host feature vectors. Building the graph
+// for one more candidate then only assembles placement edges and host
+// node references — no feature arithmetic and no re-validation of the
+// query.
+type BatchFeaturizer struct {
+	mode     FeatureMode
+	q        *stream.Query
+	c        *hardware.Cluster
+	base     *gnn.Graph  // operator nodes + flow edges (shared, read-only)
+	plan     *gnn.Plan   // flow structure shared by every candidate graph
+	hostFeat [][]float64 // per-host feature vectors (shared, read-only)
+}
+
+// Plan returns the message-passing plan shared by all graphs this
+// featurizer builds.
+func (bf *BatchFeaturizer) Plan() *gnn.Plan { return bf.plan }
+
+// NewBatch prepares a BatchFeaturizer for the query and cluster. The
+// returned graphs share node feature slices; they must be treated as
+// read-only (Model.Forward and Model.Infer never mutate them).
+func (f *Featurizer) NewBatch(q *stream.Query, c *hardware.Cluster) (*BatchFeaturizer, error) {
+	base, err := f.opGraph(q)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := gnn.NewPlan(base)
+	if err != nil {
+		return nil, err
+	}
+	bf := &BatchFeaturizer{mode: f.Mode, q: q, c: c, base: base, plan: plan}
+	if f.Mode == FeatQueryOnly {
+		return bf, nil
+	}
+	if c == nil {
+		return nil, fmt.Errorf("core: cluster required for %v featurization", f.Mode)
+	}
+	bf.hostFeat = make([][]float64, len(c.Hosts))
+	for h, host := range c.Hosts {
+		bf.hostFeat[h] = f.hostFeatures(host)
+	}
+	return bf, nil
+}
+
+// BuildGraph assembles the joint graph for one placement candidate,
+// reusing the cached placement-invariant parts. The result is identical
+// to Featurizer.BuildGraph for the same triple.
+func (bf *BatchFeaturizer) BuildGraph(p sim.Placement) (*gnn.Graph, error) {
+	if bf.mode == FeatQueryOnly {
+		return bf.base, nil
+	}
+	if err := p.Validate(bf.q, bf.c); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	nodes := make([]gnn.Node, len(bf.base.Nodes), len(bf.base.Nodes)+len(p))
+	copy(nodes, bf.base.Nodes)
+	g := &gnn.Graph{Nodes: nodes, FlowEdges: bf.base.FlowEdges}
+	attachHosts(g, p, func(h int) []float64 { return bf.hostFeat[h] })
+	return g, nil
+}
+
+// ensembles lists the predictor's per-metric ensembles in paper order,
+// skipping untrained slots.
+func (pr *Predictor) ensembles() []*Ensemble {
+	var out []*Ensemble
+	for _, e := range []*Ensemble{pr.Throughput, pr.ProcLatency, pr.E2ELatency, pr.Backpressure, pr.Success} {
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// PredictBatch implements placement.BatchPredictor: it scores every
+// candidate with all ensemble members, featurizing each candidate once
+// and sharing the resulting graph across the (up to) 5 metrics x k
+// ensemble members — instead of rebuilding it 5*k times as per-candidate
+// PredictPlacement calls would. Outputs match PredictPlacement exactly.
+func (pr *Predictor) PredictBatch(q *stream.Query, c *hardware.Cluster, candidates []sim.Placement) ([]placement.PredCosts, error) {
+	// One BatchFeaturizer per distinct featurization mode; in practice a
+	// predictor uses one mode, but Exp 7a ablations may mix them.
+	batches := map[FeatureMode]*BatchFeaturizer{}
+	for _, e := range pr.ensembles() {
+		for _, m := range e.Models {
+			if _, ok := batches[m.Feat.Mode]; !ok {
+				bf, err := m.Feat.NewBatch(q, c)
+				if err != nil {
+					return nil, err
+				}
+				batches[m.Feat.Mode] = bf
+			}
+		}
+	}
+
+	out := make([]placement.PredCosts, len(candidates))
+	gcache := make(map[FeatureMode]*gnn.Graph, len(batches))
+	for i, p := range candidates {
+		for mode := range gcache {
+			delete(gcache, mode)
+		}
+		graph := func(mode FeatureMode) (*gnn.Graph, error) {
+			if g, ok := gcache[mode]; ok {
+				return g, nil
+			}
+			g, err := batches[mode].BuildGraph(p)
+			if err != nil {
+				return nil, err
+			}
+			gcache[mode] = g
+			return g, nil
+		}
+		// value and label mirror Ensemble.PredictValue / PredictLabel on
+		// the shared graph, keeping the accumulation order identical so
+		// results are bit-equal to the per-candidate path.
+		value := func(e *Ensemble) (float64, error) {
+			var sum float64
+			for _, m := range e.Models {
+				g, err := graph(m.Feat.Mode)
+				if err != nil {
+					return 0, err
+				}
+				v, err := m.predictPlanned(g, batches[m.Feat.Mode].Plan())
+				if err != nil {
+					return 0, err
+				}
+				sum += v
+			}
+			return sum / float64(len(e.Models)), nil
+		}
+		label := func(e *Ensemble) (bool, error) {
+			votes := 0
+			for _, m := range e.Models {
+				g, err := graph(m.Feat.Mode)
+				if err != nil {
+					return false, err
+				}
+				prob, err := m.predictPlanned(g, batches[m.Feat.Mode].Plan())
+				if err != nil {
+					return false, err
+				}
+				if prob > 0.5 {
+					votes++
+				}
+			}
+			return votes*2 > len(e.Models), nil
+		}
+
+		costs := placement.PredCosts{Success: true}
+		var err error
+		if pr.Throughput != nil {
+			if costs.ThroughputTPS, err = value(pr.Throughput); err != nil {
+				return nil, fmt.Errorf("core: batch candidate %d: %w", i, err)
+			}
+		}
+		if pr.ProcLatency != nil {
+			if costs.ProcLatencyMS, err = value(pr.ProcLatency); err != nil {
+				return nil, fmt.Errorf("core: batch candidate %d: %w", i, err)
+			}
+		}
+		if pr.E2ELatency != nil {
+			if costs.E2ELatencyMS, err = value(pr.E2ELatency); err != nil {
+				return nil, fmt.Errorf("core: batch candidate %d: %w", i, err)
+			}
+		}
+		if pr.Backpressure != nil {
+			if costs.Backpressured, err = label(pr.Backpressure); err != nil {
+				return nil, fmt.Errorf("core: batch candidate %d: %w", i, err)
+			}
+		}
+		if pr.Success != nil {
+			if costs.Success, err = label(pr.Success); err != nil {
+				return nil, fmt.Errorf("core: batch candidate %d: %w", i, err)
+			}
+		}
+		out[i] = costs
+	}
+	return out, nil
+}

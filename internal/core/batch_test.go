@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"costream/internal/placement"
+	"costream/internal/sim"
+)
+
+// trainedBatchPredictor trains a small full predictor once for the batch
+// equivalence tests.
+func trainedBatchPredictor(t *testing.T) *Predictor {
+	t.Helper()
+	c := testCorpus(t)
+	train, val, _ := c.Split(0.8, 0.1, 21)
+	cfg := PredictorConfig{Train: fastTrainConfig(31), EnsembleSize: 2}
+	cfg.Train.Epochs = 3
+	pr, err := TrainPredictor(train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+// TestPredictBatchMatchesPredictPlacement is the batch-path equivalence
+// guarantee: scoring candidates through PredictBatch must reproduce the
+// per-candidate PredictPlacement outputs exactly, for all five metrics.
+func TestPredictBatchMatchesPredictPlacement(t *testing.T) {
+	pr := trainedBatchPredictor(t)
+	c := testCorpus(t)
+
+	// Collect (query, cluster) pairs and several candidates each by
+	// re-drawing placements from the corpus generator's own clusters.
+	rng := rand.New(rand.NewSource(77))
+	for ti, tr := range c.Traces[:8] {
+		cands := placement.Enumerate(rng, tr.Query, tr.Cluster, 12)
+		if len(cands) == 0 {
+			t.Fatalf("trace %d: no candidates", ti)
+		}
+		batch, err := pr.PredictBatch(tr.Query, tr.Cluster, cands)
+		if err != nil {
+			t.Fatalf("trace %d: %v", ti, err)
+		}
+		if len(batch) != len(cands) {
+			t.Fatalf("trace %d: %d batch results for %d candidates", ti, len(batch), len(cands))
+		}
+		for i, p := range cands {
+			single, err := pr.PredictPlacement(tr.Query, tr.Cluster, p)
+			if err != nil {
+				t.Fatalf("trace %d candidate %d: %v", ti, i, err)
+			}
+			if batch[i] != single {
+				t.Errorf("trace %d candidate %d: batch %+v != single %+v", ti, i, batch[i], single)
+			}
+		}
+	}
+}
+
+// TestBatchFeaturizerMatchesBuildGraph checks graph-level equivalence,
+// including host node ordering and shared feature values.
+func TestBatchFeaturizerMatchesBuildGraph(t *testing.T) {
+	c := testCorpus(t)
+	rng := rand.New(rand.NewSource(78))
+	for _, mode := range []FeatureMode{FeatFull, FeatPlacementOnly, FeatQueryOnly} {
+		f := Featurizer{Mode: mode}
+		tr := c.Traces[3]
+		bf, err := f.NewBatch(tr.Query, tr.Cluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := placement.Enumerate(rng, tr.Query, tr.Cluster, 6)
+		for _, p := range cands {
+			want, err := f.BuildGraph(tr.Query, tr.Cluster, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := bf.BuildGraph(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Nodes) != len(want.Nodes) {
+				t.Fatalf("mode %v: %d nodes, want %d", mode, len(got.Nodes), len(want.Nodes))
+			}
+			for i := range want.Nodes {
+				if got.Nodes[i].Kind != want.Nodes[i].Kind {
+					t.Fatalf("mode %v node %d: kind %v != %v", mode, i, got.Nodes[i].Kind, want.Nodes[i].Kind)
+				}
+				for j := range want.Nodes[i].Feat {
+					if got.Nodes[i].Feat[j] != want.Nodes[i].Feat[j] {
+						t.Fatalf("mode %v node %d feat %d: %v != %v",
+							mode, i, j, got.Nodes[i].Feat[j], want.Nodes[i].Feat[j])
+					}
+				}
+			}
+			if len(got.PlaceEdges) != len(want.PlaceEdges) {
+				t.Fatalf("mode %v: place edges %d != %d", mode, len(got.PlaceEdges), len(want.PlaceEdges))
+			}
+			for i := range want.PlaceEdges {
+				if got.PlaceEdges[i] != want.PlaceEdges[i] {
+					t.Fatalf("mode %v edge %d: %v != %v", mode, i, got.PlaceEdges[i], want.PlaceEdges[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBatchRejectsInvalidCandidate: an invalid placement in the
+// batch surfaces as an error (Optimize then isolates it via the
+// per-candidate fallback).
+func TestPredictBatchRejectsInvalidCandidate(t *testing.T) {
+	pr := trainedBatchPredictor(t)
+	c := testCorpus(t)
+	tr := c.Traces[0]
+	bad := make(sim.Placement, len(tr.Placement))
+	for i := range bad {
+		bad[i] = len(tr.Cluster.Hosts) + 5 // out of range
+	}
+	if _, err := pr.PredictBatch(tr.Query, tr.Cluster, []sim.Placement{tr.Placement, bad}); err == nil {
+		t.Fatal("invalid candidate accepted")
+	}
+}

@@ -165,10 +165,11 @@ func oneHot(n, idx int) []float64 {
 	return v
 }
 
-// BuildGraph constructs the joint operator-resource graph of Section III
-// for the given query, cluster and placement. For FeatQueryOnly the
-// placement may be nil.
-func (f *Featurizer) BuildGraph(q *stream.Query, c *hardware.Cluster, p sim.Placement) (*gnn.Graph, error) {
+// opGraph builds the operator-only part of the joint graph: typed
+// operator nodes with their feature vectors plus the logical data-flow
+// edges. This part is placement-invariant, which is what BatchFeaturizer
+// exploits to amortize featurization across many candidates.
+func (f *Featurizer) opGraph(q *stream.Query) (*gnn.Graph, error) {
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -187,6 +188,33 @@ func (f *Featurizer) BuildGraph(q *stream.Query, c *hardware.Cluster, p sim.Plac
 	for _, e := range q.Edges {
 		g.FlowEdges = append(g.FlowEdges, e)
 	}
+	return g, nil
+}
+
+// attachHosts appends one host node per distinct host used by the
+// placement (in first-use order) and wires the placement edges. hostFeat
+// supplies the feature vector for a host index.
+func attachHosts(g *gnn.Graph, p sim.Placement, hostFeat func(int) []float64) {
+	hostNode := make(map[int]int)
+	for opIdx, h := range p {
+		node, ok := hostNode[h]
+		if !ok {
+			node = len(g.Nodes)
+			hostNode[h] = node
+			g.Nodes = append(g.Nodes, gnn.Node{Kind: gnn.KindHost, Feat: hostFeat(h)})
+		}
+		g.PlaceEdges = append(g.PlaceEdges, [2]int{opIdx, node})
+	}
+}
+
+// BuildGraph constructs the joint operator-resource graph of Section III
+// for the given query, cluster and placement. For FeatQueryOnly the
+// placement may be nil.
+func (f *Featurizer) BuildGraph(q *stream.Query, c *hardware.Cluster, p sim.Placement) (*gnn.Graph, error) {
+	g, err := f.opGraph(q)
+	if err != nil {
+		return nil, err
+	}
 	if f.Mode == FeatQueryOnly {
 		return g, nil
 	}
@@ -196,17 +224,7 @@ func (f *Featurizer) BuildGraph(q *stream.Query, c *hardware.Cluster, p sim.Plac
 	if err := p.Validate(q, c); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	// One host node per distinct host used by the placement.
-	hostNode := make(map[int]int)
-	for opIdx, h := range p {
-		node, ok := hostNode[h]
-		if !ok {
-			node = len(g.Nodes)
-			hostNode[h] = node
-			g.Nodes = append(g.Nodes, gnn.Node{Kind: gnn.KindHost, Feat: f.hostFeatures(c.Hosts[h])})
-		}
-		g.PlaceEdges = append(g.PlaceEdges, [2]int{opIdx, node})
-	}
+	attachHosts(g, p, func(h int) []float64 { return f.hostFeatures(c.Hosts[h]) })
 	return g, nil
 }
 

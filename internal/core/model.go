@@ -342,16 +342,34 @@ func (cm *CostModel) PredictRaw(q *stream.Query, c *hardware.Cluster, p sim.Plac
 	return cm.predictGraph(g)
 }
 
+// predictGraph evaluates the model on a prebuilt graph using the
+// tape-free inference pass (bit-identical to the training-time Forward,
+// but without gradient bookkeeping).
 func (cm *CostModel) predictGraph(g *gnn.Graph) (float64, error) {
-	t := nn.NewTape()
-	out, err := cm.Net.Forward(t, g)
+	out, err := cm.Net.Infer(g)
 	if err != nil {
 		return 0, err
 	}
-	if cm.Metric.IsRegression() {
-		return nn.ExpM1(out.Data[0]), nil
+	return cm.headTransform(out), nil
+}
+
+// predictPlanned is predictGraph with a shared message-passing plan,
+// skipping the per-call graph validation and flow-structure derivation
+// that batch scoring amortizes across candidates.
+func (cm *CostModel) predictPlanned(g *gnn.Graph, plan *gnn.Plan) (float64, error) {
+	out, err := cm.Net.InferPlanned(g, plan)
+	if err != nil {
+		return 0, err
 	}
-	return nn.SigmoidScalar(out.Data[0]), nil
+	return cm.headTransform(out), nil
+}
+
+// headTransform maps the network's raw output into metric space.
+func (cm *CostModel) headTransform(out float64) float64 {
+	if cm.Metric.IsRegression() {
+		return nn.ExpM1(out)
+	}
+	return nn.SigmoidScalar(out)
 }
 
 // PredictTrace predicts the model's metric for a stored trace.

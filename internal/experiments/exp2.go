@@ -83,7 +83,7 @@ func (s *Suite) Exp2aPlacement() (*Exp2aResult, error) {
 			}
 			initLp := measuredLp(initM)
 
-			coRes, err := placement.Optimize(coPred, q, cluster, cands, placement.MinProcLatency)
+			coRes, err := placement.OptimizeOpts(coPred, q, cluster, cands, placement.MinProcLatency, s.optimizeOpts())
 			if err != nil {
 				return nil, err
 			}
@@ -93,7 +93,7 @@ func (s *Suite) Exp2aPlacement() (*Exp2aResult, error) {
 			}
 			coRatios = append(coRatios, initLp/maxf(measuredLp(coM), 1e-3))
 
-			flRes, err := placement.Optimize(flPred, q, cluster, cands, placement.MinProcLatency)
+			flRes, err := placement.OptimizeOpts(flPred, q, cluster, cands, placement.MinProcLatency, s.optimizeOpts())
 			if err != nil {
 				return nil, err
 			}
@@ -179,7 +179,7 @@ func (s *Suite) Exp2bMonitoring() (*Exp2bResult, error) {
 			if len(cands) == 0 {
 				continue
 			}
-			coRes, err := placement.Optimize(coPred, q, cluster, cands, placement.MinProcLatency)
+			coRes, err := placement.OptimizeOpts(coPred, q, cluster, cands, placement.MinProcLatency, s.optimizeOpts())
 			if err != nil {
 				return nil, err
 			}

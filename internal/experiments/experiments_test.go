@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 
 	"costream/internal/core"
@@ -14,11 +15,52 @@ import (
 // package (so base corpora and ensembles train once): the unit tests
 // verify wiring and result shapes; the quantitative paper-shape claims are
 // exercised by the full-scale bench harness (bench_test.go,
-// EXPERIMENTS.md).
+// EXPERIMENTS.md). The shape tests run with t.Parallel(): the suite's
+// single-flight artifact caching makes concurrent access safe, and on a
+// multi-core runner the experiments overlap instead of queueing.
 var sharedSuite = NewSuite(0.08)
 
 func smokeSuite() *Suite {
 	return sharedSuite
+}
+
+// TestArtifactsSingleFlight hammers the lazy getters concurrently: every
+// caller must get the same artifact pointer, proving the suite builds each
+// artifact exactly once even under concurrent RunAll scheduling.
+func TestArtifactsSingleFlight(t *testing.T) {
+	t.Parallel()
+	s := smokeSuite()
+	const callers = 8
+	ensembles := make([]*core.Ensemble, callers)
+	corpora := make([]interface{}, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := s.BaseCorpus()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			corpora[i] = c
+			e, err := s.Ensemble(core.MetricProcLatency)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ensembles[i] = e
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if corpora[i] != corpora[0] {
+			t.Fatal("concurrent BaseCorpus callers got different corpora")
+		}
+		if ensembles[i] != ensembles[0] {
+			t.Fatal("concurrent Ensemble callers got different ensembles")
+		}
+	}
 }
 
 func TestScaleFromEnv(t *testing.T) {
@@ -39,6 +81,7 @@ func TestScaleFromEnv(t *testing.T) {
 }
 
 func TestSuiteCachesArtifacts(t *testing.T) {
+	t.Parallel()
 	s := smokeSuite()
 	c1, err := s.BaseCorpus()
 	if err != nil {
@@ -87,6 +130,7 @@ func checkRow(t *testing.T, row MetricRow, context string) {
 }
 
 func TestExp1OverallShape(t *testing.T) {
+	t.Parallel()
 	s := smokeSuite()
 	r, err := s.Exp1Overall()
 	if err != nil {
@@ -106,6 +150,7 @@ func TestExp1OverallShape(t *testing.T) {
 }
 
 func TestExp1HardwareAndQueryTypes(t *testing.T) {
+	t.Parallel()
 	s := smokeSuite()
 	hw, err := s.Exp1Hardware()
 	if err != nil {
@@ -138,6 +183,7 @@ func TestExp1HardwareAndQueryTypes(t *testing.T) {
 }
 
 func TestExp2aShape(t *testing.T) {
+	t.Parallel()
 	s := smokeSuite()
 	r, err := s.Exp2aPlacement()
 	if err != nil {
@@ -158,6 +204,7 @@ func TestExp2aShape(t *testing.T) {
 }
 
 func TestExp2bShape(t *testing.T) {
+	t.Parallel()
 	s := smokeSuite()
 	r, err := s.Exp2bMonitoring()
 	if err != nil {
@@ -175,6 +222,7 @@ func TestExp2bShape(t *testing.T) {
 }
 
 func TestExp3Shape(t *testing.T) {
+	t.Parallel()
 	s := smokeSuite()
 	r, err := s.Exp3Interpolation()
 	if err != nil {
@@ -189,6 +237,7 @@ func TestExp3Shape(t *testing.T) {
 }
 
 func TestExp5Shape(t *testing.T) {
+	t.Parallel()
 	s := smokeSuite()
 	r, err := s.Exp5aUnseenPatterns()
 	if err != nil {
@@ -218,6 +267,7 @@ func TestExp5Shape(t *testing.T) {
 }
 
 func TestExp6Shape(t *testing.T) {
+	t.Parallel()
 	s := smokeSuite()
 	r, err := s.Exp6Benchmarks()
 	if err != nil {
@@ -241,6 +291,7 @@ func TestExp6Shape(t *testing.T) {
 }
 
 func TestExp7Shape(t *testing.T) {
+	t.Parallel()
 	s := smokeSuite()
 	a, err := s.Exp7aFeatureAblation()
 	if err != nil {

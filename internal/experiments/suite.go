@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 
@@ -15,6 +16,7 @@ import (
 	"costream/internal/dataset"
 	"costream/internal/flatvec"
 	"costream/internal/gbdt"
+	"costream/internal/placement"
 	"costream/internal/sim"
 	"costream/internal/workload"
 )
@@ -31,18 +33,49 @@ func ScaleFromEnv() float64 {
 	return 1.0
 }
 
+// cell is a single-flight slot for a lazily built artifact: concurrent
+// getters for the same key share one build instead of duplicating it.
+type cell[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+// get returns the cached cell for key (creating an empty one under mu if
+// needed) and runs build exactly once across all callers.
+func get[T any](mu *sync.Mutex, m map[string]*cell[T], key string, build func() (T, error)) (T, error) {
+	mu.Lock()
+	cl, ok := m[key]
+	if !ok {
+		cl = &cell[T]{}
+		m[key] = cl
+	}
+	mu.Unlock()
+	cl.once.Do(func() { cl.val, cl.err = build() })
+	return cl.val, cl.err
+}
+
 // Suite owns the shared artifacts of the experiment runs. All getters are
-// lazy, cached and safe for sequential use (experiments run one at a time;
-// ensemble members train concurrently inside core).
+// lazy, cached and safe for concurrent use: experiments running in
+// parallel under RunAll share single-flight artifact builds (ensemble
+// members additionally train concurrently inside core).
 type Suite struct {
 	Scale float64
+	// Workers bounds each concurrency level separately: the number of
+	// experiments RunAll drives at once, and the number of
+	// candidate-scoring workers inside each experiment's placement
+	// searches. Up to Workers^2 scoring goroutines can therefore be
+	// runnable at once; they are CPU-bound and the Go scheduler
+	// multiplexes them onto GOMAXPROCS threads, so this oversubscribes
+	// scheduling slots, not cores. Zero or negative selects GOMAXPROCS.
+	Workers int
 	// Logf receives progress lines; defaults to a no-op.
 	Logf func(format string, args ...any)
 
 	mu      sync.Mutex
-	corpora map[string]*dataset.Corpus
-	ens     map[string]*core.Ensemble
-	flat    map[string]*flatvec.Model
+	corpora map[string]*cell[*dataset.Corpus]
+	ens     map[string]*cell[*core.Ensemble]
+	flat    map[string]*cell[*flatvec.Model]
 }
 
 // NewSuite returns a Suite at the given scale.
@@ -53,11 +86,19 @@ func NewSuite(scale float64) *Suite {
 	return &Suite{
 		Scale:   scale,
 		Logf:    func(string, ...any) {},
-		corpora: map[string]*dataset.Corpus{},
-		ens:     map[string]*core.Ensemble{},
-		flat:    map[string]*flatvec.Model{},
+		corpora: map[string]*cell[*dataset.Corpus]{},
+		ens:     map[string]*cell[*core.Ensemble]{},
+		flat:    map[string]*cell[*flatvec.Model]{},
 	}
 }
+
+// optimizeOpts returns the placement engine options honoring s.Workers.
+func (s *Suite) optimizeOpts() placement.Options {
+	return placement.Options{Workers: s.Workers}
+}
+
+// defaultWorkers is the worker-pool bound when Suite.Workers is unset.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 func (s *Suite) scaled(n int, min int) int {
 	v := int(float64(n) * s.Scale)
@@ -97,23 +138,17 @@ func (s *Suite) smallTrainConfig(seed int64) core.TrainConfig {
 // EnsembleSize is the per-metric ensemble size (the paper uses 3).
 const EnsembleSize = 3
 
-// corpus returns (building if needed) a named corpus.
+// corpus returns (building if needed) a named corpus. Concurrent callers
+// share one build.
 func (s *Suite) corpus(name string, build func() (*dataset.Corpus, error)) (*dataset.Corpus, error) {
-	s.mu.Lock()
-	c, ok := s.corpora[name]
-	s.mu.Unlock()
-	if ok {
+	return get(&s.mu, s.corpora, name, func() (*dataset.Corpus, error) {
+		s.Logf("building corpus %q", name)
+		c, err := build()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: corpus %q: %w", name, err)
+		}
 		return c, nil
-	}
-	s.Logf("building corpus %q", name)
-	c, err := build()
-	if err != nil {
-		return nil, fmt.Errorf("experiments: corpus %q: %w", name, err)
-	}
-	s.mu.Lock()
-	s.corpora[name] = c
-	s.mu.Unlock()
-	return c, nil
+	})
 }
 
 // BaseCorpus is the main training benchmark (Section VI distribution).
@@ -139,53 +174,29 @@ func (s *Suite) BaseSplit() (train, val, test *dataset.Corpus, err error) {
 }
 
 // Ensemble returns the COSTREAM ensemble for a metric, trained on the base
-// split.
+// split. Concurrent callers share one training run.
 func (s *Suite) Ensemble(m core.Metric) (*core.Ensemble, error) {
-	key := "base/" + m.String()
-	s.mu.Lock()
-	e, ok := s.ens[key]
-	s.mu.Unlock()
-	if ok {
-		return e, nil
-	}
-	train, val, _, err := s.BaseSplit()
-	if err != nil {
-		return nil, err
-	}
-	s.Logf("training COSTREAM ensemble for %v (%d models)", m, EnsembleSize)
-	e, err = core.TrainEnsemble(train, val, m, s.trainConfig(100+int64(m)), EnsembleSize)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.ens[key] = e
-	s.mu.Unlock()
-	return e, nil
+	return get(&s.mu, s.ens, "base/"+m.String(), func() (*core.Ensemble, error) {
+		train, val, _, err := s.BaseSplit()
+		if err != nil {
+			return nil, err
+		}
+		s.Logf("training COSTREAM ensemble for %v (%d models)", m, EnsembleSize)
+		return core.TrainEnsemble(train, val, m, s.trainConfig(100+int64(m)), EnsembleSize)
+	})
 }
 
 // FlatModel returns the flat-vector baseline model for a metric, trained
-// on the base split.
+// on the base split. Concurrent callers share one training run.
 func (s *Suite) FlatModel(m core.Metric) (*flatvec.Model, error) {
-	key := "base/" + m.String()
-	s.mu.Lock()
-	f, ok := s.flat[key]
-	s.mu.Unlock()
-	if ok {
-		return f, nil
-	}
-	train, _, _, err := s.BaseSplit()
-	if err != nil {
-		return nil, err
-	}
-	s.Logf("training flat-vector baseline for %v", m)
-	f, err = flatvec.Train(train, m, gbdt.DefaultConfig(200+int64(m)))
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.flat[key] = f
-	s.mu.Unlock()
-	return f, nil
+	return get(&s.mu, s.flat, "base/"+m.String(), func() (*flatvec.Model, error) {
+		train, _, _, err := s.BaseSplit()
+		if err != nil {
+			return nil, err
+		}
+		s.Logf("training flat-vector baseline for %v", m)
+		return flatvec.Train(train, m, gbdt.DefaultConfig(200+int64(m)))
+	})
 }
 
 // Predictor assembles the full five-metric COSTREAM predictor from the

@@ -1,0 +1,68 @@
+package flatvec
+
+import (
+	"math/rand"
+	"testing"
+
+	"costream/internal/gbdt"
+	"costream/internal/placement"
+)
+
+// TestPredictBatchMatchesPredictPlacement: the baseline's batch path must
+// reproduce per-candidate PredictPlacement outputs exactly, despite the
+// shared query-prefix featurization.
+func TestPredictBatchMatchesPredictPlacement(t *testing.T) {
+	c := testCorpus(t)
+	train, _, _ := c.Split(0.9, 0, 19)
+	pr, err := TrainPredictor(train, gbdt.DefaultConfig(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	for ti, tr := range c.Traces[:6] {
+		cands := placement.Enumerate(rng, tr.Query, tr.Cluster, 10)
+		if len(cands) == 0 {
+			t.Fatalf("trace %d: no candidates", ti)
+		}
+		batch, err := pr.PredictBatch(tr.Query, tr.Cluster, cands)
+		if err != nil {
+			t.Fatalf("trace %d: %v", ti, err)
+		}
+		for i, p := range cands {
+			single, err := pr.PredictPlacement(tr.Query, tr.Cluster, p)
+			if err != nil {
+				t.Fatalf("trace %d candidate %d: %v", ti, i, err)
+			}
+			if batch[i] != single {
+				t.Errorf("trace %d candidate %d: batch %+v != single %+v", ti, i, batch[i], single)
+			}
+		}
+	}
+}
+
+// TestFeaturizeSplitConsistency: the refactored query-prefix /
+// placement-suffix split reassembles into exactly the documented Dim
+// entries with the prefix unchanged across candidates.
+func TestFeaturizeSplitConsistency(t *testing.T) {
+	c := testCorpus(t)
+	tr := c.Traces[0]
+	prefix, err := queryFeatures(tr.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prefix) != queryDim {
+		t.Fatalf("prefix dim %d, want %d", len(prefix), queryDim)
+	}
+	full, err := Featurize(tr.Query, tr.Cluster, tr.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != Dim {
+		t.Fatalf("full dim %d, want %d", len(full), Dim)
+	}
+	for i := range prefix {
+		if full[i] != prefix[i] {
+			t.Errorf("entry %d: full %v != prefix %v", i, full[i], prefix[i])
+		}
+	}
+}

@@ -25,10 +25,25 @@ import (
 // Dim is the flat vector dimensionality.
 const Dim = 33
 
+// queryDim is the number of leading vector entries that depend only on
+// the query (not on the cluster or placement).
+const queryDim = 19
+
 // Featurize encodes a (query, cluster, placement) triple into the flat
 // vector. All aggregations are order-independent, mirroring the baseline's
 // lack of structure.
 func Featurize(q *stream.Query, c *hardware.Cluster, p sim.Placement) ([]float64, error) {
+	prefix, err := queryFeatures(q)
+	if err != nil {
+		return nil, err
+	}
+	return placementFeatures(prefix, c, p)
+}
+
+// queryFeatures computes the placement-invariant query prefix of the flat
+// vector. Batch scoring computes it once and reuses it for every
+// candidate.
+func queryFeatures(q *stream.Query) ([]float64, error) {
 	rates, err := q.DeriveRates()
 	if err != nil {
 		return nil, err
@@ -132,6 +147,18 @@ func Featurize(q *stream.Query, c *hardware.Cluster, p sim.Placement) ([]float64
 	// Note: no derived per-operator or sink rates — the flat vector holds
 	// only the query-level aggregates of [16]; composing rates through
 	// joins and windows requires the structural encoding COSTREAM has.
+
+	if len(v) != queryDim {
+		return nil, fmt.Errorf("flatvec: query prefix has %d entries, want %d", len(v), queryDim)
+	}
+	return v, nil
+}
+
+// placementFeatures appends the cluster/placement summary to a copy of the
+// query prefix, completing the flat vector.
+func placementFeatures(prefix []float64, c *hardware.Cluster, p sim.Placement) ([]float64, error) {
+	v := make([]float64, queryDim, Dim)
+	copy(v, prefix)
 
 	// Hardware summary (12): mean/min/max of the four features over the
 	// hosts used by the placement — aggregate knowledge without the
@@ -245,14 +272,19 @@ func (m *Model) PredictRaw(q *stream.Query, c *hardware.Cluster, p sim.Placement
 	if err != nil {
 		return 0, err
 	}
+	return m.predictVec(x), nil
+}
+
+// predictVec predicts from an already-featurized flat vector.
+func (m *Model) predictVec(x []float64) float64 {
 	if m.Metric.IsRegression() {
 		v := math.Expm1(m.reg.Predict(x))
 		if v < 0 {
 			v = 0
 		}
-		return v, nil
+		return v
 	}
-	return m.cls.Predict(x), nil
+	return m.cls.Predict(x)
 }
 
 // PredictTrace implements core.TracePredictor.
@@ -317,5 +349,32 @@ func (pr *Predictor) PredictPlacement(q *stream.Query, c *hardware.Cluster, p si
 		return out, err
 	}
 	out.Success = s > 0.5
+	return out, nil
+}
+
+// PredictBatch implements placement.BatchPredictor: the query-level
+// feature prefix is computed once and shared across candidates, and each
+// candidate is featurized once for all five metric models (instead of the
+// five Featurize calls per candidate the per-metric PredictRaw path
+// makes). Outputs match PredictPlacement exactly.
+func (pr *Predictor) PredictBatch(q *stream.Query, c *hardware.Cluster, candidates []sim.Placement) ([]placement.PredCosts, error) {
+	prefix, err := queryFeatures(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]placement.PredCosts, len(candidates))
+	for i, p := range candidates {
+		x, err := placementFeatures(prefix, c, p)
+		if err != nil {
+			return nil, fmt.Errorf("flatvec: batch candidate %d: %w", i, err)
+		}
+		out[i] = placement.PredCosts{
+			ThroughputTPS: pr.Throughput.predictVec(x),
+			ProcLatencyMS: pr.ProcLatency.predictVec(x),
+			E2ELatencyMS:  pr.E2ELatency.predictVec(x),
+			Backpressured: pr.Backpressure.predictVec(x) > 0.5,
+			Success:       pr.Success.predictVec(x) > 0.5,
+		}
+	}
 	return out, nil
 }

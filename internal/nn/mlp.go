@@ -31,20 +31,31 @@ func NewLinear(rng *rand.Rand, in, out int) *Linear {
 	return l
 }
 
-// Apply records y = W*x + b on the tape.
-func (l *Linear) Apply(t *Tape, x *Node) *Node {
-	if len(x.Data) != l.In {
-		panic(fmt.Sprintf("nn: Linear input dim %d, want %d", len(x.Data), l.In))
+// forward computes y = W*x + b into a fresh slice. Apply and Infer share
+// this exact loop so that tape-based and inference-only forward passes are
+// bit-identical.
+func (l *Linear) forward(x []float64) []float64 {
+	if len(x) != l.In {
+		panic(fmt.Sprintf("nn: Linear input dim %d, want %d", len(x), l.In))
 	}
 	data := make([]float64, l.Out)
 	for o := 0; o < l.Out; o++ {
 		sum := l.B[o]
 		row := l.W[o*l.In : (o+1)*l.In]
-		for i, xi := range x.Data {
+		for i, xi := range x {
 			sum += row[i] * xi
 		}
 		data[o] = sum
 	}
+	return data
+}
+
+// Infer computes y = W*x + b without recording anything for backprop.
+func (l *Linear) Infer(x []float64) []float64 { return l.forward(x) }
+
+// Apply records y = W*x + b on the tape.
+func (l *Linear) Apply(t *Tape, x *Node) *Node {
+	data := l.forward(x.Data)
 	out := t.node(data, nil)
 	out.back = func() {
 		for o := 0; o < l.Out; o++ {
@@ -110,6 +121,31 @@ func (m *MLP) Apply(t *Tape, x *Node) *Node {
 		}
 	}
 	return h
+}
+
+// Infer runs the MLP forward pass without a tape: no gradient buffers or
+// backward closures are allocated, which makes it several times cheaper
+// than Apply for pure prediction. The arithmetic (and therefore the
+// result) is bit-identical to Apply.
+func (m *MLP) Infer(x []float64) []float64 {
+	h := x
+	for i, l := range m.Layers {
+		h = l.forward(h)
+		if i+1 < len(m.Layers) {
+			leakyReLUInPlace(h, m.Alpha)
+		}
+	}
+	return h
+}
+
+// leakyReLUInPlace applies max(x, alpha*x) elementwise, matching
+// Tape.LeakyReLU's forward computation exactly.
+func leakyReLUInPlace(xs []float64, alpha float64) {
+	for i, x := range xs {
+		if x < 0 {
+			xs[i] = alpha * x
+		}
+	}
 }
 
 // InDim returns the expected input dimension.

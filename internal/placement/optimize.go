@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"costream/internal/hardware"
 	"costream/internal/sim"
@@ -25,6 +27,17 @@ type PredCosts struct {
 // an oracle wrapping the simulator.
 type Predictor interface {
 	PredictPlacement(q *stream.Query, c *hardware.Cluster, p sim.Placement) (PredCosts, error)
+}
+
+// BatchPredictor is a Predictor that can score many candidates in one
+// call, amortizing the placement-invariant featurization work (the query
+// graph and per-host features) across the whole batch. PredictBatch must
+// return one PredCosts per candidate, in order, with values identical to
+// per-candidate PredictPlacement calls. Optimize detects this interface
+// and routes candidate chunks through it.
+type BatchPredictor interface {
+	Predictor
+	PredictBatch(q *stream.Query, c *hardware.Cluster, candidates []sim.Placement) ([]PredCosts, error)
 }
 
 // Objective selects the target cost metric for placement optimization.
@@ -55,38 +68,97 @@ type Result struct {
 	Placement sim.Placement
 	Index     int // index into the candidate slice
 	Costs     PredCosts
-	// Filtered reports how many candidates the sanity check (predicted
-	// failure or backpressure) removed.
+	// Filtered reports how many candidates were removed before selection:
+	// by the sanity check (predicted failure or backpressure) or because
+	// their prediction errored.
 	Filtered int
+	// Errored reports how many candidates failed to score at all (a
+	// subset of Filtered).
+	Errored int
+}
+
+// Options tunes the candidate-scoring engine behind Optimize.
+type Options struct {
+	// Workers bounds the number of concurrent scoring workers. Zero or
+	// negative selects GOMAXPROCS. The chosen placement is independent of
+	// the worker count: candidate scores are merged by candidate index,
+	// and ties break toward the lower index.
+	Workers int
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Optimize scores every candidate with the predictor, removes candidates
 // predicted to fail or be backpressured (the paper's sanity check), and
 // returns the remaining candidate optimizing the objective. If the filter
 // removes everything, the best candidate overall is returned, preferring
-// lower predicted cost.
+// lower predicted cost. Candidates whose prediction errors are skipped
+// (counted in Result.Filtered and Result.Errored); Optimize only fails if
+// every candidate does.
+//
+// Optimize uses default Options; use OptimizeOpts to bound the worker
+// pool explicitly.
 func Optimize(pred Predictor, q *stream.Query, c *hardware.Cluster, candidates []sim.Placement, obj Objective) (*Result, error) {
-	if len(candidates) == 0 {
+	return OptimizeOpts(pred, q, c, candidates, obj, Options{})
+}
+
+// OptimizeOpts is Optimize with explicit engine options. Candidates are
+// partitioned into contiguous chunks scored by a bounded pool of workers;
+// a predictor implementing BatchPredictor receives whole chunks so it can
+// featurize the shared query/cluster state once per chunk. Scores are
+// merged into a slice indexed by candidate, so the same seed and
+// candidate list yield the same Result regardless of Workers.
+func OptimizeOpts(pred Predictor, q *stream.Query, c *hardware.Cluster, candidates []sim.Placement, obj Objective, opts Options) (*Result, error) {
+	n := len(candidates)
+	if n == 0 {
 		return nil, fmt.Errorf("placement: no candidates to optimize over")
 	}
-	type scored struct {
-		idx   int
-		costs PredCosts
-		ok    bool
-	}
-	all := make([]scored, 0, len(candidates))
-	filtered := 0
-	for i, p := range candidates {
-		costs, err := pred.PredictPlacement(q, c, p)
-		if err != nil {
-			return nil, fmt.Errorf("placement: predicting candidate %d: %w", i, err)
+	costs := make([]PredCosts, n)
+	errs := make([]error, n)
+	scoreChunk := func(lo, hi int) {
+		if bp, ok := pred.(BatchPredictor); ok {
+			out, err := bp.PredictBatch(q, c, candidates[lo:hi])
+			if err == nil && len(out) == hi-lo {
+				copy(costs[lo:hi], out)
+				return
+			}
+			// The batch call failed as a whole; fall through to
+			// per-candidate scoring to isolate the failing candidates.
 		}
-		ok := costs.Success && !costs.Backpressured
-		if !ok {
-			filtered++
+		for i := lo; i < hi; i++ {
+			costs[i], errs[i] = pred.PredictPlacement(q, c, candidates[i])
 		}
-		all = append(all, scored{idx: i, costs: costs, ok: ok})
 	}
+	if workers := opts.workers(n); workers == 1 {
+		scoreChunk(0, n)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*n/workers, (w+1)*n/workers
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				scoreChunk(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
 	score := func(costs PredCosts) float64 {
 		switch obj {
 		case MaxThroughput:
@@ -97,29 +169,46 @@ func Optimize(pred Predictor, q *stream.Query, c *hardware.Cluster, candidates [
 			return costs.ProcLatencyMS
 		}
 	}
-	best := -1
-	bestScore := math.Inf(1)
-	// First pass: only sane candidates.
-	for _, s := range all {
-		if s.ok && score(s.costs) < bestScore {
-			bestScore = score(s.costs)
-			best = s.idx
+	filtered, errored := 0, 0
+	var firstErr error
+	best, bestFallback := -1, -1
+	bestScore, fallbackScore := math.Inf(1), math.Inf(1)
+	for i := range candidates {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("placement: predicting candidate %d: %w", i, errs[i])
+			}
+			filtered++
+			errored++
+			continue
+		}
+		s := score(costs[i])
+		if s < fallbackScore {
+			fallbackScore = s
+			bestFallback = i
+		}
+		if costs[i].Success && !costs[i].Backpressured {
+			if s < bestScore {
+				bestScore = s
+				best = i
+			}
+		} else {
+			filtered++
 		}
 	}
 	if best < 0 {
-		// Everything filtered: fall back to the cheapest prediction.
-		for _, s := range all {
-			if score(s.costs) < bestScore {
-				bestScore = score(s.costs)
-				best = s.idx
-			}
-		}
+		// Everything filtered: fall back to the cheapest scored prediction.
+		best = bestFallback
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("placement: all %d candidates failed to score: %w", n, firstErr)
 	}
 	return &Result{
 		Placement: candidates[best],
 		Index:     best,
-		Costs:     all[best].costs,
+		Costs:     costs[best],
 		Filtered:  filtered,
+		Errored:   errored,
 	}, nil
 }
 
@@ -143,6 +232,11 @@ func (o *SimOracle) PredictPlacement(q *stream.Query, c *hardware.Cluster, p sim
 		Backpressured: m.Backpressured,
 	}, nil
 }
+
+// SimOracle deliberately does not implement BatchPredictor: each
+// candidate needs its own simulator run, so there is no shared work to
+// amortize, and the per-candidate path already gives both the chunked
+// worker pool and per-candidate error isolation.
 
 // HeuristicInitial returns the plain heuristic initial placement used as
 // the Exp 2a baseline denominator: the first valid random draw under the

@@ -1,0 +1,214 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"costream/internal/hardware"
+	"costream/internal/sim"
+	"costream/internal/stream"
+)
+
+// indexCosts derives a deterministic fake cost vector from a candidate's
+// first host assignment so tests can stage arbitrary score landscapes.
+type indexedPredictor struct {
+	costs []PredCosts
+	// failAt marks candidate indices whose prediction errors.
+	failAt map[int]bool
+	// batchErr makes whole-chunk PredictBatch calls fail, forcing the
+	// per-candidate fallback.
+	batchErr bool
+	// batch counts PredictBatch calls, serial counts PredictPlacement calls.
+	batch, serial atomic.Int64
+}
+
+func (f *indexedPredictor) idx(p sim.Placement) int { return int(p[0]) }
+
+func (f *indexedPredictor) PredictPlacement(q *stream.Query, c *hardware.Cluster, p sim.Placement) (PredCosts, error) {
+	f.serial.Add(1)
+	i := f.idx(p)
+	if f.failAt[i] {
+		return PredCosts{}, fmt.Errorf("fake failure at candidate %d", i)
+	}
+	return f.costs[i], nil
+}
+
+func (f *indexedPredictor) PredictBatch(q *stream.Query, c *hardware.Cluster, candidates []sim.Placement) ([]PredCosts, error) {
+	f.batch.Add(1)
+	if f.batchErr {
+		return nil, fmt.Errorf("fake batch failure")
+	}
+	out := make([]PredCosts, len(candidates))
+	for i, p := range candidates {
+		pc, err := f.PredictPlacement(q, c, p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pc
+	}
+	return out, nil
+}
+
+// fakeCandidates returns n placements whose first entry encodes their
+// index (the test predictors key off it).
+func fakeCandidates(n int) []sim.Placement {
+	out := make([]sim.Placement, n)
+	for i := range out {
+		out[i] = sim.Placement{i, 0, 0, 0, 0}
+	}
+	return out
+}
+
+func sanely(lat float64) PredCosts {
+	return PredCosts{ProcLatencyMS: lat, ThroughputTPS: 1 / lat, E2ELatencyMS: lat * 2, Success: true}
+}
+
+// TestOptimizeDeterministicAcrossWorkers is the core determinism
+// guarantee: the same candidates yield the identical Result no matter how
+// many workers score them.
+func TestOptimizeDeterministicAcrossWorkers(t *testing.T) {
+	q := testQuery()
+	c := testCluster()
+	const n = 37
+	pred := &indexedPredictor{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < n; i++ {
+		pc := sanely(1 + rng.Float64()*100)
+		if i%5 == 0 {
+			pc.Backpressured = true
+		}
+		if i%7 == 0 {
+			pc.Success = false
+		}
+		pred.costs = append(pred.costs, pc)
+	}
+	// A couple of duplicated best scores exercise the lowest-index
+	// tie-break.
+	pred.costs[20] = pred.costs[8]
+	cands := fakeCandidates(n)
+
+	for _, obj := range []Objective{MinProcLatency, MinE2ELatency, MaxThroughput} {
+		base, err := OptimizeOpts(pred, q, c, cands, obj, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", obj, err)
+		}
+		for _, workers := range []int{2, 3, 8, 64} {
+			got, err := OptimizeOpts(pred, q, c, cands, obj, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", obj, workers, err)
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("%v: workers=%d result %+v != serial %+v", obj, workers, got, base)
+			}
+		}
+	}
+}
+
+// TestOptimizeDeterministicWithOracle repeats the determinism check with
+// the real simulator oracle end to end.
+func TestOptimizeDeterministicWithOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	q := testQuery()
+	c := testCluster()
+	cands := Enumerate(rng, q, c, 12)
+	cfg := sim.DefaultConfig()
+	cfg.DurationS, cfg.WarmupS = 10, 2
+	oracle := &SimOracle{Cfg: cfg}
+	base, err := OptimizeOpts(oracle, q, c, cands, MinProcLatency, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, len(cands)} {
+		got, err := OptimizeOpts(oracle, q, c, cands, MinProcLatency, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: %+v != %+v", workers, got, base)
+		}
+	}
+}
+
+// TestOptimizeSkipsFailingCandidates verifies the bugfix: one failing
+// candidate no longer aborts the search; it is skipped and counted.
+func TestOptimizeSkipsFailingCandidates(t *testing.T) {
+	q := testQuery()
+	c := testCluster()
+	pred := &indexedPredictor{
+		costs:  []PredCosts{sanely(5), sanely(3), sanely(9)},
+		failAt: map[int]bool{1: true},
+		// Disable the batch fast path so PredictPlacement's per-candidate
+		// errors are what Optimize sees directly.
+		batchErr: true,
+	}
+	res, err := OptimizeOpts(pred, q, c, fakeCandidates(3), MinProcLatency, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index != 0 {
+		t.Errorf("chose %d, want 0 (best scorable)", res.Index)
+	}
+	if res.Filtered != 1 || res.Errored != 1 {
+		t.Errorf("Filtered=%d Errored=%d, want 1/1", res.Filtered, res.Errored)
+	}
+}
+
+// TestOptimizeAllCandidatesFail: only when every candidate errors does
+// Optimize return an error.
+func TestOptimizeAllCandidatesFail(t *testing.T) {
+	q := testQuery()
+	c := testCluster()
+	pred := &indexedPredictor{
+		costs:    []PredCosts{sanely(1), sanely(2)},
+		failAt:   map[int]bool{0: true, 1: true},
+		batchErr: true,
+	}
+	if _, err := OptimizeOpts(pred, q, c, fakeCandidates(2), MinProcLatency, Options{Workers: 2}); err == nil {
+		t.Fatal("expected error when every candidate fails")
+	}
+}
+
+// TestOptimizeBatchFallback: a failing PredictBatch chunk falls back to
+// per-candidate scoring instead of losing the whole chunk.
+func TestOptimizeBatchFallback(t *testing.T) {
+	q := testQuery()
+	c := testCluster()
+	pred := &indexedPredictor{
+		costs:    []PredCosts{sanely(5), sanely(3), sanely(9), sanely(4)},
+		batchErr: true,
+	}
+	res, err := OptimizeOpts(pred, q, c, fakeCandidates(4), MinProcLatency, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index != 1 {
+		t.Errorf("chose %d, want 1", res.Index)
+	}
+	if pred.batch.Load() == 0 {
+		t.Error("PredictBatch was never attempted")
+	}
+	if pred.serial.Load() != 4 {
+		t.Errorf("fallback scored %d candidates serially, want 4", pred.serial.Load())
+	}
+}
+
+// TestOptimizeUsesBatchPath: a healthy BatchPredictor serves the whole
+// search without per-candidate calls.
+func TestOptimizeUsesBatchPath(t *testing.T) {
+	q := testQuery()
+	c := testCluster()
+	pred := &indexedPredictor{costs: []PredCosts{sanely(5), sanely(3), sanely(9), sanely(4)}}
+	res, err := OptimizeOpts(pred, q, c, fakeCandidates(4), MinProcLatency, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index != 1 {
+		t.Errorf("chose %d, want 1", res.Index)
+	}
+	if pred.batch.Load() == 0 {
+		t.Error("batch path not used")
+	}
+}

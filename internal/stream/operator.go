@@ -32,11 +32,6 @@ type Operator struct {
 	// Selectivity per Definitions 6-8. Used by filter, join and
 	// aggregation operators; ignored otherwise.
 	Selectivity float64
-
-	// TupleWidthOut is the width (number of attributes) of outgoing
-	// tuples. For sources it equals len(FieldTypes); for other operators
-	// the planner derives it.
-	TupleWidthOut int
 }
 
 // IsWindowed reports whether the operator keeps window state.

@@ -209,7 +209,9 @@ type Rates struct {
 //     symmetric-hash formulation: each arrival probes the opposite window)
 //   - aggregation: out = fires/s * groups, groups = sel*|W| (Definition 8)
 //
-// The returned slices are indexed by operator index.
+// The returned slices are indexed by operator index. DeriveRates does not
+// mutate the query, so concurrent callers (ensemble training, batched
+// placement scoring) may share one Query.
 func (q *Query) DeriveRates() (*Rates, error) {
 	order, err := q.TopoOrder()
 	if err != nil {
@@ -274,7 +276,6 @@ func (q *Query) DeriveRates() (*Rates, error) {
 		if r.Out[i] < 0 {
 			r.Out[i] = 0
 		}
-		op.TupleWidthOut = r.Width[i]
 		r.TupleBytes[i] = TupleBytes(r.Width[i], avgBytes[i])
 	}
 	return r, nil
