@@ -10,8 +10,12 @@
 package costream
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"testing"
@@ -23,6 +27,7 @@ import (
 	"costream/internal/hardware"
 	"costream/internal/nn"
 	"costream/internal/placement"
+	"costream/internal/serve"
 	"costream/internal/sim"
 	"costream/internal/stream"
 	"costream/internal/workload"
@@ -459,4 +464,45 @@ func BenchmarkPlacementEnumeration(b *testing.B) {
 			b.Fatal("no candidates")
 		}
 	}
+}
+
+// BenchmarkServePredict measures one /v1/predict request through the
+// costream-serve HTTP handler stack (decode, fingerprint, predict,
+// encode). "cold" disables the response cache so every request runs full
+// model inference; "cached" serves repeats of one request from the LRU —
+// the gap is the value of caching on a hot serving path.
+func BenchmarkServePredict(b *testing.B) {
+	optimizeBenchSetup(b)
+	body, err := json.Marshal(serve.PredictRequest{
+		Query: optBenchQ, Cluster: optBenchC, Placement: optBenchCand[0],
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, cacheSize int) {
+		b.Helper()
+		srv, err := serve.New(serve.Config{Predictor: optBenchPred, CacheSize: cacheSize})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Prime once so the "cached" variant measures pure hits.
+		warm := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, warm)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, -1) })
+	b.Run("cached", func(b *testing.B) { run(b, 1024) })
 }

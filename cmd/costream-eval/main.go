@@ -1,20 +1,27 @@
-// Command costream-eval evaluates a trained COSTREAM model (written by
-// costream-train) against a corpus, reporting the paper's evaluation
-// metrics: median and 95th-percentile q-error for regression metrics, or
-// accuracy on a balanced subset for the binary metrics.
+// Command costream-eval evaluates a trained COSTREAM model artifact
+// (written by costream-train) against a corpus, reporting the paper's
+// evaluation metrics: median and 95th-percentile q-error for regression
+// metrics, or accuracy on a balanced subset for the binary metrics. The
+// saved model is loaded — nothing is retrained.
 //
 // Usage:
 //
-//	costream-eval -corpus test.json.gz -model model.json -metric e2e-latency
+//	costream-eval -corpus test.json.gz -model model.json.gz             # every trained metric
+//	costream-eval -corpus test.json.gz -model model.json.gz -metric e2e-latency
+//
+// Legacy bare-network model files (pre-artifact costream-train output)
+// are still readable when -metric names the metric they were trained for.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"costream/internal/artifact"
 	"costream/internal/core"
 	"costream/internal/dataset"
 	"costream/internal/gnn"
@@ -25,8 +32,8 @@ func main() {
 	log.SetPrefix("costream-eval: ")
 	var (
 		corpusPath = flag.String("corpus", "corpus.json.gz", "evaluation corpus path")
-		modelPath  = flag.String("model", "model.json", "trained model path")
-		metricName = flag.String("metric", "e2e-latency", "metric the model was trained for")
+		modelPath  = flag.String("model", "model.json.gz", "model artifact path")
+		metricName = flag.String("metric", "", "restrict evaluation to one metric (required for legacy model files)")
 	)
 	flag.Parse()
 
@@ -34,32 +41,56 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	data, err := os.ReadFile(*modelPath)
+
+	pred, prov, err := artifact.Load(*modelPath)
+	if errors.Is(err, artifact.ErrLegacyFormat) {
+		evalLegacy(corpus, *modelPath, *metricName)
+		return
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	var net gnn.Model
-	if err := json.Unmarshal(data, &net); err != nil {
-		log.Fatal(err)
-	}
-	var metric core.Metric
-	found := false
-	for _, m := range core.AllMetrics() {
-		if m.String() == *metricName {
-			metric, found = m, true
-		}
-	}
-	if !found {
-		log.Fatalf("unknown metric %q", *metricName)
-	}
-	model := &core.CostModel{Metric: metric, Feat: core.Featurizer{}, Net: &net}
+	fmt.Printf("model: trained seed=%d corpus=%d epochs=%d ensemble=%d\n",
+		prov.TrainSeed, prov.CorpusSize, prov.Epochs, prov.EnsembleSize)
 
-	if metric.IsRegression() {
-		sum, err := core.EvaluateRegression(model, corpus, metric)
+	ensembles := map[core.Metric]*core.Ensemble{}
+	for _, s := range pred.Ensembles() {
+		ensembles[s.Metric] = s.Ensemble
+	}
+	metrics := core.AllMetrics()
+	if *metricName != "" {
+		m, err := core.ParseMetric(*metricName)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s: Q50=%.2f Q95=%.2f max=%.2f (n=%d successful traces)\n",
+		metrics = []core.Metric{m}
+	}
+	evaluated := 0
+	for _, m := range metrics {
+		e := ensembles[m]
+		if e == nil {
+			if *metricName != "" {
+				log.Fatalf("artifact %s has no ensemble for %v", *modelPath, m)
+			}
+			continue
+		}
+		report(e, corpus, m)
+		evaluated++
+	}
+	if evaluated == 0 {
+		log.Fatalf("artifact %s has no trained ensembles", *modelPath)
+	}
+}
+
+// report prints one metric's evaluation line, ensemble-aggregated like
+// the paper (mean for regression, majority vote for classification).
+func report(p core.TracePredictor, corpus *dataset.Corpus, metric core.Metric) {
+	if metric.IsRegression() {
+		sum, err := core.EvaluateRegression(p, corpus, metric)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s Q50=%.2f Q95=%.2f max=%.2f (n=%d successful traces)\n",
 			metric, sum.Median, sum.P95, sum.Max, sum.N)
 		return
 	}
@@ -67,9 +98,32 @@ func main() {
 	if bal.Len() == 0 {
 		bal = corpus
 	}
-	acc, err := core.EvaluateClassification(model, bal, metric)
+	acc, err := core.EvaluateClassification(p, bal, metric)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s: accuracy=%.2f%% (n=%d, balanced)\n", metric, 100*acc, bal.Len())
+	fmt.Printf("%-13s accuracy=%.2f%% (n=%d, balanced)\n", metric, 100*acc, bal.Len())
+}
+
+// evalLegacy reads a pre-artifact bare gnn.Model JSON file. Those files
+// carry no metric or featurizer state, so -metric must say what the
+// network was trained for (the default featurization is assumed).
+func evalLegacy(corpus *dataset.Corpus, path, metricName string) {
+	if metricName == "" {
+		log.Fatalf("%s is a legacy bare-network model file; pass -metric to name the metric it was trained for, or re-train with costream-train", path)
+	}
+	metric, err := core.ParseMetric(metricName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var net gnn.Model
+	if err := json.Unmarshal(data, &net); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: legacy bare-network file (no provenance)\n")
+	report(&core.CostModel{Metric: metric, Feat: core.Featurizer{}, Net: &net}, corpus, metric)
 }

@@ -1,12 +1,14 @@
 // Command costream-optimize demonstrates the full placement workflow on a
-// randomly drawn IoT scenario: it trains a small COSTREAM model, draws a
-// query and an edge-cloud cluster, enumerates heuristic placement
-// candidates, picks the best by predicted cost, and verifies the decision
-// by executing initial vs optimized placement in the simulator.
+// randomly drawn IoT scenario: it obtains a COSTREAM model (loading a
+// saved artifact, or training a small one from scratch), draws a query
+// and an edge-cloud cluster, enumerates heuristic placement candidates,
+// picks the best by predicted cost, and verifies the decision by
+// executing initial vs optimized placement in the simulator.
 //
 // Usage:
 //
 //	costream-optimize -seed 7 -traces 800 -candidates 16
+//	costream-optimize -model model.json.gz -candidates 16     # reuse a saved model
 package main
 
 import (
@@ -28,24 +30,47 @@ func main() {
 		candidates = flag.Int("candidates", 16, "placement candidates to enumerate")
 		epochs     = flag.Int("epochs", 25, "training epochs")
 		workers    = flag.Int("workers", 0, "concurrent candidate-scoring workers (0 = GOMAXPROCS)")
+		modelPath  = flag.String("model", "", "load a saved model artifact instead of training")
+		saveModel  = flag.String("save-model", "", "save the trained model as an artifact for reuse")
 	)
 	flag.Parse()
 
-	fmt.Printf("generating %d training traces...\n", *traces)
-	corpus, err := costream.GenerateCorpus(*traces, *seed)
-	if err != nil {
-		log.Fatal(err)
+	var model *costream.Model
+	if *modelPath != "" {
+		var err error
+		model, err = costream.LoadModel(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info := model.Info()
+		fmt.Printf("loaded model %s (trained seed=%d corpus=%d epochs=%d)\n",
+			*modelPath, info.TrainSeed, info.CorpusSize, info.Epochs)
+	} else {
+		fmt.Printf("generating %d training traces...\n", *traces)
+		corpus, err := costream.GenerateCorpus(*traces, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := costream.DefaultTrainOptions()
+		opts.Epochs = *epochs
+		opts.Seed = *seed
+		start := time.Now()
+		fmt.Println("training COSTREAM ensembles (5 metrics x 3 seeds)...")
+		model, err = costream.TrainModel(corpus, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained in %v\n", time.Since(start).Round(time.Second))
 	}
-	opts := costream.DefaultTrainOptions()
-	opts.Epochs = *epochs
-	opts.Seed = *seed
-	start := time.Now()
-	fmt.Println("training COSTREAM ensembles (5 metrics x 3 seeds)...")
-	model, err := costream.TrainModel(corpus, opts)
-	if err != nil {
-		log.Fatal(err)
+	// Applies to trained and loaded models alike (-model + -save-model
+	// re-saves, e.g. to recompress or copy an artifact).
+	if *saveModel != "" {
+		if err := model.Save(*saveModel); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved model artifact to %s\n", *saveModel)
 	}
-	fmt.Printf("trained in %v\n\n", time.Since(start).Round(time.Second))
+	fmt.Println()
 
 	gen := workload.New(workload.DefaultConfig(*seed + 1))
 	q := gen.Query()

@@ -1,0 +1,97 @@
+// Command costream-serve is a long-running HTTP prediction and placement
+// optimization service. It loads a model artifact written by
+// costream-train (or Model.Save) once at startup and then answers
+// placement queries for arbitrary unseen queries and clusters — the
+// paper's zero-shot workflow as a service.
+//
+//	costream-serve -model model.json.gz -addr :8080
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/v1/example | curl -s --json @- localhost:8080/v1/predict
+//	curl localhost:8080/stats
+//
+// Concurrent predict requests for the same query and cluster are
+// coalesced into shared batch inference calls, responses are cached in a
+// bounded LRU, and total in-flight model work is bounded by a semaphore.
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"costream/internal/artifact"
+	"costream/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("costream-serve: ")
+	var (
+		modelPath   = flag.String("model", "model.json.gz", "model artifact path (written by costream-train)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		cacheSize   = flag.Int("cache", serve.DefaultCacheSize, "prediction cache entries (negative disables)")
+		maxInFlight = flag.Int("max-inflight", 0, "max concurrent model evaluations (0 = GOMAXPROCS)")
+		optWorkers  = flag.Int("optimize-workers", 0, "scoring workers per optimize request (0 = GOMAXPROCS)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	)
+	flag.Parse()
+
+	pred, prov, err := artifact.Load(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics := 0
+	for _, s := range pred.Ensembles() {
+		if s.Ensemble != nil {
+			metrics++
+		}
+	}
+	log.Printf("loaded %s: %d/5 metric ensembles (trained %s, seed %d, corpus %d, epochs %d, ensemble %d)",
+		*modelPath, metrics, prov.CreatedAt.Format(time.RFC3339),
+		prov.TrainSeed, prov.CorpusSize, prov.Epochs, prov.EnsembleSize)
+
+	srv, err := serve.New(serve.Config{
+		Predictor:       pred,
+		CacheSize:       *cacheSize,
+		MaxInFlight:     *maxInFlight,
+		OptimizeWorkers: *optWorkers,
+		ModelInfo:       prov,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down (draining up to %v)...", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatal(err)
+	}
+	log.Print("bye")
+}

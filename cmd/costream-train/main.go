@@ -1,21 +1,23 @@
 // Command costream-train trains COSTREAM cost models on a corpus written
-// by costream-datagen and saves the model weights as JSON.
+// by costream-datagen and saves the full predictor — every metric's
+// ensemble with GNN weights, featurizer state and provenance — as one
+// versioned model artifact loadable by costream-serve, costream-eval,
+// costream-optimize and costream.LoadModel.
 //
 // Usage:
 //
-//	costream-train -corpus corpus.json.gz -metric e2e-latency -out model.json
-//	costream-train -corpus corpus.json.gz -all -out models/   # all five metrics
+//	costream-train -corpus corpus.json.gz -out model.json.gz                 # all five metrics
+//	costream-train -corpus corpus.json.gz -metrics e2e-latency,success ...   # a subset
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"path/filepath"
+	"strings"
 	"time"
 
+	"costream/internal/artifact"
 	"costream/internal/core"
 	"costream/internal/dataset"
 )
@@ -25,17 +27,21 @@ func main() {
 	log.SetPrefix("costream-train: ")
 	var (
 		corpusPath = flag.String("corpus", "corpus.json.gz", "training corpus path")
-		metricName = flag.String("metric", "e2e-latency", "metric to train (throughput | proc-latency | e2e-latency | backpressure | success)")
-		all        = flag.Bool("all", false, "train all five metrics")
-		out        = flag.String("out", "model.json", "output file (or directory with -all)")
+		metricList = flag.String("metrics", "all", `metrics to train: "all" or a comma-separated subset of throughput,proc-latency,e2e-latency,backpressure,success`)
+		out        = flag.String("out", "model.json.gz", "output artifact path (.gz = compressed)")
 		epochs     = flag.Int("epochs", 45, "training epochs")
 		hidden     = flag.Int("hidden", 32, "GNN hidden width")
 		lr         = flag.Float64("lr", 3e-3, "learning rate")
+		ensemble   = flag.Int("ensemble", 3, "models per metric")
 		seed       = flag.Int64("seed", 1, "random seed")
+		note       = flag.String("note", "", "free-form provenance note stored in the artifact")
 		verbose    = flag.Bool("v", false, "log per-epoch losses")
 	)
 	flag.Parse()
 
+	if *ensemble < 1 {
+		log.Fatalf("-ensemble must be at least 1, got %d", *ensemble)
+	}
 	corpus, err := dataset.Load(*corpusPath)
 	if err != nil {
 		log.Fatal(err)
@@ -49,46 +55,46 @@ func main() {
 		cfg.Logf = func(format string, args ...any) { log.Printf(format, args...) }
 	}
 
-	metrics := []core.Metric{}
-	if *all {
+	var metrics []core.Metric
+	if *metricList == "all" {
 		metrics = core.AllMetrics()
 	} else {
-		m, err := metricByName(*metricName)
-		if err != nil {
-			log.Fatal(err)
-		}
-		metrics = append(metrics, m)
-	}
-	for _, m := range metrics {
-		start := time.Now()
-		model, err := core.Train(train, val, m, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		path := *out
-		if *all {
-			if err := os.MkdirAll(*out, 0o755); err != nil {
+		for _, name := range strings.Split(*metricList, ",") {
+			m, err := core.ParseMetric(strings.TrimSpace(name))
+			if err != nil {
 				log.Fatal(err)
 			}
-			path = filepath.Join(*out, m.String()+".json")
+			metrics = append(metrics, m)
 		}
-		data, err := json.Marshal(model.Net)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := os.WriteFile(path, data, 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("trained %-13s on %d traces in %v -> %s\n",
-			m, train.Len(), time.Since(start).Round(time.Second), path)
 	}
-}
 
-func metricByName(name string) (core.Metric, error) {
-	for _, m := range core.AllMetrics() {
-		if m.String() == name {
-			return m, nil
-		}
+	start := time.Now()
+	pred, err := core.TrainPredictor(train, val, core.PredictorConfig{
+		Train:        cfg,
+		EnsembleSize: *ensemble,
+		Metrics:      metrics,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	return 0, fmt.Errorf("unknown metric %q", name)
+	elapsed := time.Since(start).Round(time.Second)
+
+	prov := artifact.Provenance{
+		CreatedAt:    time.Now().UTC(),
+		TrainSeed:    *seed,
+		CorpusSize:   corpus.Len(),
+		Epochs:       *epochs,
+		EnsembleSize: *ensemble,
+		Hidden:       *hidden,
+		Note:         *note,
+	}
+	if err := artifact.Save(*out, pred, prov); err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, len(metrics))
+	for i, m := range metrics {
+		names[i] = m.String()
+	}
+	fmt.Printf("trained %d metric(s) [%s] x %d members on %d traces in %v -> %s\n",
+		len(metrics), strings.Join(names, ", "), *ensemble, train.Len(), elapsed, *out)
 }

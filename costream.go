@@ -31,7 +31,9 @@ package costream
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
+	"costream/internal/artifact"
 	"costream/internal/core"
 	"costream/internal/dataset"
 	"costream/internal/hardware"
@@ -171,7 +173,12 @@ func DefaultTrainOptions() TrainOptions {
 // metric, usable for cost prediction and placement optimization.
 type Model struct {
 	pred *core.Predictor
+	prov ModelInfo
 }
+
+// ModelInfo is the provenance metadata stored alongside a model artifact:
+// train seed, corpus size, epochs, ensemble size and creation time.
+type ModelInfo = artifact.Provenance
 
 // TrainModel trains COSTREAM on the corpus (80/10 train/validation split;
 // the remainder is unused and may serve as a test set).
@@ -196,8 +203,35 @@ func TrainModel(c *Corpus, opts TrainOptions) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Model{pred: pr}, nil
+	return &Model{pred: pr, prov: ModelInfo{
+		CreatedAt:    time.Now().UTC(),
+		TrainSeed:    opts.Seed,
+		CorpusSize:   c.Len(),
+		Epochs:       opts.Epochs,
+		EnsembleSize: opts.EnsembleSize,
+		Hidden:       opts.Hidden,
+	}}, nil
 }
+
+// Save writes the full trained model — all metric ensembles with their
+// GNN weights and featurizer state, plus provenance — as a versioned
+// artifact. Paths ending in ".gz" are gzip-compressed. A model reloaded
+// with LoadModel produces bit-identical predictions.
+func (m *Model) Save(path string) error {
+	return artifact.Save(path, m.pred, m.prov)
+}
+
+// LoadModel reads a model artifact written by Save (or costream-train).
+func LoadModel(path string) (*Model, error) {
+	pred, prov, err := artifact.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{pred: pred, prov: prov}, nil
+}
+
+// Info returns the model's provenance metadata.
+func (m *Model) Info() ModelInfo { return m.prov }
 
 // PredictCosts estimates the five cost metrics of executing the query
 // under the given placement, without running it.

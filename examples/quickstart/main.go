@@ -1,6 +1,7 @@
 // Quickstart: build a streaming query, train a small COSTREAM model on
-// generated traces, predict the cost of a placement without executing it,
-// and check the prediction against the execution simulator.
+// generated traces, save it as a reusable artifact, reload it, predict
+// the cost of a placement without executing it, and check the prediction
+// against the execution simulator.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -8,6 +9,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"costream"
 )
@@ -50,11 +53,33 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 4. Predict costs for a concrete placement, then verify by executing.
-	p := costream.Placement{0, 1, 2} // source on edge, filter on fog, sink on cloud
-	pred, err := model.PredictCosts(q, cluster, p)
+	// 4. Save the trained model as an artifact and reload it — this is
+	// the zero-shot workflow: train once, then reuse the saved model for
+	// any future query and cluster (costream-serve serves it over HTTP).
+	dir, err := os.MkdirTemp("", "costream-quickstart-")
 	if err != nil {
 		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	artifactPath := filepath.Join(dir, "model.json.gz")
+	if err := model.Save(artifactPath); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := costream.LoadModel(artifactPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved and reloaded the model (trained on %d traces)\n", reloaded.Info().CorpusSize)
+
+	// 5. Predict costs for a concrete placement with the reloaded model
+	// (bit-identical to the in-memory one), then verify by executing.
+	p := costream.Placement{0, 1, 2} // source on edge, filter on fog, sink on cloud
+	pred, err := reloaded.PredictCosts(q, cluster, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if inMem, err := model.PredictCosts(q, cluster, p); err != nil || pred != inMem {
+		log.Fatalf("reloaded model diverged from the trained one: %+v vs %+v (%v)", pred, inMem, err)
 	}
 	fmt.Printf("\npredicted: Lp=%.0f ms, Le=%.0f ms, T=%.0f ev/s, success=%v, backpressure=%v\n",
 		pred.ProcLatencyMS, pred.E2ELatencyMS, pred.ThroughputTPS, pred.Success, pred.Backpressured)

@@ -77,9 +77,9 @@ func (bf *BatchFeaturizer) BuildGraph(p sim.Placement) (*gnn.Graph, error) {
 // skipping untrained slots.
 func (pr *Predictor) ensembles() []*Ensemble {
 	var out []*Ensemble
-	for _, e := range []*Ensemble{pr.Throughput, pr.ProcLatency, pr.E2ELatency, pr.Backpressure, pr.Success} {
-		if e != nil {
-			out = append(out, e)
+	for _, s := range pr.Ensembles() {
+		if s.Ensemble != nil {
+			out = append(out, s.Ensemble)
 		}
 	}
 	return out

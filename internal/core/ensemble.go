@@ -107,6 +107,25 @@ type Predictor struct {
 	Success      *Ensemble
 }
 
+// MetricEnsemble pairs a cost metric with its predictor slot.
+type MetricEnsemble struct {
+	Metric   Metric
+	Ensemble *Ensemble // nil when the metric was not trained
+}
+
+// Ensembles lists the predictor's five slots in paper order, including
+// untrained (nil) ones. It is the single source of the slot <-> metric
+// correspondence for serialization, CLIs and the serving layer.
+func (pr *Predictor) Ensembles() []MetricEnsemble {
+	return []MetricEnsemble{
+		{MetricThroughput, pr.Throughput},
+		{MetricProcLatency, pr.ProcLatency},
+		{MetricE2ELatency, pr.E2ELatency},
+		{MetricBackpressure, pr.Backpressure},
+		{MetricSuccess, pr.Success},
+	}
+}
+
 // PredictorConfig controls TrainPredictor.
 type PredictorConfig struct {
 	Train TrainConfig

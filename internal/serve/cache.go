@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"costream/internal/placement"
+)
+
+// lruCache is a bounded, thread-safe LRU cache mapping request
+// fingerprints to predicted costs. Predictions are pure functions of
+// (query, cluster, placement) and model weights, so entries never go
+// stale while the server runs one model.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key   string
+	costs placement.PredCosts
+}
+
+// newLRUCache returns a cache holding at most max entries; max <= 0
+// returns nil (caching disabled — all lruCache methods tolerate nil).
+func newLRUCache(max int) *lruCache {
+	if max <= 0 {
+		return nil
+	}
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached costs for key, marking the entry most recently
+// used. The hit/miss counters feed /stats.
+func (c *lruCache) get(key string) (placement.PredCosts, bool) {
+	if c == nil {
+		return placement.PredCosts{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return placement.PredCosts{}, false
+	}
+	c.hits.Add(1)
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).costs, true
+}
+
+// add stores costs under key, evicting the least recently used entry
+// when full.
+func (c *lruCache) add(key string, costs placement.PredCosts) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).costs = costs
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, costs: costs})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// capacity returns the configured maximum entry count.
+func (c *lruCache) capacity() int {
+	if c == nil {
+		return 0
+	}
+	return c.max
+}
+
+// counters returns the accumulated hit and miss counts.
+func (c *lruCache) counters() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

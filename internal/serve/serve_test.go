@@ -1,0 +1,666 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"costream/internal/core"
+	"costream/internal/dataset"
+	"costream/internal/hardware"
+	"costream/internal/placement"
+	"costream/internal/sim"
+	"costream/internal/stream"
+	"costream/internal/workload"
+)
+
+// fakePred is a deterministic BatchPredictor: costs are a pure function
+// of the placement, so handler tests can verify exact outputs without
+// training a model. It records batch call sizes for coalescing checks.
+type fakePred struct {
+	delay time.Duration
+
+	mu         sync.Mutex
+	batchSizes []int
+	batchCalls atomic.Int64
+	err        error
+}
+
+func fakeCosts(p sim.Placement) placement.PredCosts {
+	s := 0.0
+	for i, h := range p {
+		s += float64((i + 1) * (h + 1))
+	}
+	return placement.PredCosts{
+		ThroughputTPS: 1000 + s,
+		ProcLatencyMS: 10 + s,
+		E2ELatencyMS:  20 + s,
+		Success:       true,
+	}
+}
+
+func (f *fakePred) PredictPlacement(q *stream.Query, c *hardware.Cluster, p sim.Placement) (placement.PredCosts, error) {
+	if f.err != nil {
+		return placement.PredCosts{}, f.err
+	}
+	return fakeCosts(p), nil
+}
+
+func (f *fakePred) PredictBatch(q *stream.Query, c *hardware.Cluster, ps []sim.Placement) ([]placement.PredCosts, error) {
+	f.batchCalls.Add(1)
+	f.mu.Lock()
+	f.batchSizes = append(f.batchSizes, len(ps))
+	f.mu.Unlock()
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if f.err != nil {
+		return nil, f.err
+	}
+	out := make([]placement.PredCosts, len(ps))
+	for i, p := range ps {
+		out[i] = fakeCosts(p)
+	}
+	return out, nil
+}
+
+func testQuery(t testing.TB) *stream.Query {
+	t.Helper()
+	b := stream.NewBuilder()
+	src := b.AddSource(1000, []stream.DataType{stream.TypeInt, stream.TypeDouble})
+	f := b.AddFilter(stream.FilterGT, stream.TypeInt, 0.5)
+	sink := b.AddSink()
+	b.Chain(src, f, sink)
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func testCluster() *hardware.Cluster {
+	return &hardware.Cluster{Hosts: []*hardware.Host{
+		{ID: "edge", CPU: 100, RAMMB: 2000, NetLatencyMS: 40, NetBandwidthMbps: 100},
+		{ID: "fog", CPU: 400, RAMMB: 8000, NetLatencyMS: 10, NetBandwidthMbps: 800},
+		{ID: "cloud", CPU: 800, RAMMB: 32000, NetLatencyMS: 1, NetBandwidthMbps: 10000},
+	}}
+}
+
+func newTestServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	if cfg.Predictor == nil {
+		cfg.Predictor = &fakePred{}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func doJSON(t testing.TB, s *Server, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func TestPredictHandler(t *testing.T) {
+	s := newTestServer(t, Config{})
+	q, c := testQuery(t), testCluster()
+	p := sim.Placement{0, 1, 2}
+	w := doJSON(t, s, http.MethodPost, "/v1/predict", PredictRequest{Query: q, Cluster: c, Placement: p})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp PredictResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	want := toCosts(fakeCosts(p))
+	if resp.Costs != want {
+		t.Errorf("costs %+v, want %+v", resp.Costs, want)
+	}
+	if got := w.Header().Get("X-Costream-Cache"); got != "miss" {
+		t.Errorf("cache header %q, want miss", got)
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	q, c := testQuery(t), testCluster()
+	cases := map[string]any{
+		"missing query":     PredictRequest{Cluster: c, Placement: sim.Placement{0, 1, 2}},
+		"missing cluster":   PredictRequest{Query: q, Placement: sim.Placement{0, 1, 2}},
+		"short placement":   PredictRequest{Query: q, Cluster: c, Placement: sim.Placement{0}},
+		"host out of range": PredictRequest{Query: q, Cluster: c, Placement: sim.Placement{0, 1, 9}},
+	}
+	for name, body := range cases {
+		if w := doJSON(t, s, http.MethodPost, "/v1/predict", body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, w.Code)
+		}
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader([]byte("{not json")))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", w.Code)
+	}
+
+	req = httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader([]byte(`{"queryy":{}}`)))
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", w.Code)
+	}
+
+	if w := doJSON(t, s, http.MethodGet, "/v1/predict", nil); w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET predict: status %d, want 405", w.Code)
+	}
+	if w := doJSON(t, s, http.MethodGet, "/nope", nil); w.Code != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", w.Code)
+	}
+}
+
+func TestPredictErrorsAreUnprocessable(t *testing.T) {
+	s := newTestServer(t, Config{Predictor: &fakePred{err: fmt.Errorf("boom")}})
+	body := PredictRequest{Query: testQuery(t), Cluster: testCluster(), Placement: sim.Placement{0, 1, 2}}
+	if w := doJSON(t, s, http.MethodPost, "/v1/predict", body); w.Code != http.StatusUnprocessableEntity {
+		t.Errorf("status %d, want 422", w.Code)
+	}
+}
+
+// TestCacheHitEquivalence is the cache acceptance check: the cached
+// response must be byte-identical to the cold-path response.
+func TestCacheHitEquivalence(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := PredictRequest{Query: testQuery(t), Cluster: testCluster(), Placement: sim.Placement{0, 1, 2}}
+
+	cold := doJSON(t, s, http.MethodPost, "/v1/predict", body)
+	warm := doJSON(t, s, http.MethodPost, "/v1/predict", body)
+	if cold.Code != http.StatusOK || warm.Code != http.StatusOK {
+		t.Fatalf("status %d / %d", cold.Code, warm.Code)
+	}
+	if !bytes.Equal(cold.Body.Bytes(), warm.Body.Bytes()) {
+		t.Errorf("cached response differs from cold path:\ncold: %s\nwarm: %s", cold.Body, warm.Body)
+	}
+	if got := cold.Header().Get("X-Costream-Cache"); got != "miss" {
+		t.Errorf("first request cache header %q, want miss", got)
+	}
+	if got := warm.Header().Get("X-Costream-Cache"); got != "hit" {
+		t.Errorf("second request cache header %q, want hit", got)
+	}
+	hits, misses := s.cache.counters()
+	if hits != 1 || misses != 1 {
+		t.Errorf("cache counters hits=%d misses=%d, want 1/1", hits, misses)
+	}
+
+	// A different placement is a different key.
+	body.Placement = sim.Placement{0, 0, 1}
+	if w := doJSON(t, s, http.MethodPost, "/v1/predict", body); w.Header().Get("X-Costream-Cache") != "miss" {
+		t.Error("distinct placement served from cache")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s := newTestServer(t, Config{CacheSize: -1})
+	body := PredictRequest{Query: testQuery(t), Cluster: testCluster(), Placement: sim.Placement{0, 1, 2}}
+	doJSON(t, s, http.MethodPost, "/v1/predict", body)
+	if w := doJSON(t, s, http.MethodPost, "/v1/predict", body); w.Header().Get("X-Costream-Cache") != "miss" {
+		t.Error("disabled cache returned a hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.add("a", placement.PredCosts{ProcLatencyMS: 1})
+	c.add("b", placement.PredCosts{ProcLatencyMS: 2})
+	if _, ok := c.get("a"); !ok { // touch a -> b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.add("c", placement.PredCosts{ProcLatencyMS: 3})
+	if _, ok := c.get("b"); ok {
+		t.Error("LRU entry b not evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently used entry a evicted")
+	}
+	if c.len() != 2 {
+		t.Errorf("len %d, want 2", c.len())
+	}
+}
+
+func TestPredictBatchHandler(t *testing.T) {
+	s := newTestServer(t, Config{})
+	q, c := testQuery(t), testCluster()
+	ps := []sim.Placement{{0, 1, 2}, {0, 0, 1}, {1, 1, 2}}
+	w := doJSON(t, s, http.MethodPost, "/v1/predict-batch", PredictBatchRequest{Query: q, Cluster: c, Placements: ps})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp PredictBatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Costs) != len(ps) {
+		t.Fatalf("%d costs, want %d", len(resp.Costs), len(ps))
+	}
+	for i, p := range ps {
+		if resp.Costs[i] != toCosts(fakeCosts(p)) {
+			t.Errorf("batch %d: %+v", i, resp.Costs[i])
+		}
+	}
+	if w := doJSON(t, s, http.MethodPost, "/v1/predict-batch",
+		PredictBatchRequest{Query: q, Cluster: c}); w.Code != http.StatusBadRequest {
+		t.Errorf("empty placements: status %d, want 400", w.Code)
+	}
+}
+
+func TestOptimizeHandler(t *testing.T) {
+	s := newTestServer(t, Config{})
+	q, c := testQuery(t), testCluster()
+	w := doJSON(t, s, http.MethodPost, "/v1/optimize", OptimizeRequest{
+		Query: q, Cluster: c, Candidates: 8, Objective: "min-processing-latency", Seed: 3,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp OptimizeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Placement.Validate(q, c); err != nil {
+		t.Errorf("returned placement invalid: %v", err)
+	}
+	if resp.Candidates <= 0 {
+		t.Errorf("candidates %d", resp.Candidates)
+	}
+	if resp.Costs != toCosts(fakeCosts(resp.Placement)) {
+		t.Errorf("costs %+v do not match the returned placement", resp.Costs)
+	}
+
+	// Determinism: same request, same answer.
+	w2 := doJSON(t, s, http.MethodPost, "/v1/optimize", OptimizeRequest{
+		Query: q, Cluster: c, Candidates: 8, Objective: "min-processing-latency", Seed: 3,
+	})
+	if !bytes.Equal(w.Body.Bytes(), w2.Body.Bytes()) {
+		t.Error("same optimize request produced different responses")
+	}
+
+	if w := doJSON(t, s, http.MethodPost, "/v1/optimize", OptimizeRequest{
+		Query: q, Cluster: c, Objective: "make-it-fast",
+	}); w.Code != http.StatusBadRequest {
+		t.Errorf("bad objective: status %d, want 400", w.Code)
+	}
+}
+
+// TestRequestWorkLimits: a single request cannot buy unbounded
+// enumeration or scoring work — oversized candidate counts are rejected
+// before any allocation and before the in-flight semaphore.
+func TestRequestWorkLimits(t *testing.T) {
+	s := newTestServer(t, Config{})
+	q, c := testQuery(t), testCluster()
+	if w := doJSON(t, s, http.MethodPost, "/v1/optimize", OptimizeRequest{
+		Query: q, Cluster: c, Candidates: 2_000_000_000,
+	}); w.Code != http.StatusBadRequest {
+		t.Errorf("oversized optimize: status %d, want 400", w.Code)
+	}
+	ps := make([]sim.Placement, maxCandidates+1)
+	for i := range ps {
+		ps[i] = sim.Placement{0, 1, 2}
+	}
+	if w := doJSON(t, s, http.MethodPost, "/v1/predict-batch", PredictBatchRequest{
+		Query: q, Cluster: c, Placements: ps,
+	}); w.Code != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d, want 400", w.Code)
+	}
+}
+
+func TestExampleRoundTrip(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := doJSON(t, s, http.MethodGet, "/v1/example", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("example status %d", w.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(w.Body.Bytes()))
+	w2 := httptest.NewRecorder()
+	s.ServeHTTP(w2, req)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("POSTing the example back failed: %d %s", w2.Code, w2.Body)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	s := newTestServer(t, Config{ModelInfo: map[string]string{"note": "test"}})
+	w := doJSON(t, s, http.MethodGet, "/healthz", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", w.Code)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status %q", h.Status)
+	}
+
+	doJSON(t, s, http.MethodPost, "/v1/predict",
+		PredictRequest{Query: testQuery(t), Cluster: testCluster(), Placement: sim.Placement{0, 1, 2}})
+	w = doJSON(t, s, http.MethodGet, "/stats", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats status %d", w.Code)
+	}
+	var st Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests["predict"] != 1 || st.Requests["healthz"] != 1 {
+		t.Errorf("request counters %+v", st.Requests)
+	}
+	if st.Coalesce.Enqueued != 1 || st.Coalesce.Batches != 1 {
+		t.Errorf("coalesce counters %+v", st.Coalesce)
+	}
+	if st.MaxInFlight <= 0 {
+		t.Errorf("max in-flight %d", st.MaxInFlight)
+	}
+}
+
+// TestCoalescerBatchesConcurrentRequests drives the coalescer directly
+// with a blocking batch function so the grouping is deterministic: the
+// first request becomes leader and blocks in PredictBatch; everything
+// arriving meanwhile must be scored together in exactly one second batch.
+func TestCoalescerBatchesConcurrentRequests(t *testing.T) {
+	const followers = 8
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	var mu sync.Mutex
+	var sizes []int
+
+	co := newCoalescer(
+		func(q *stream.Query, c *hardware.Cluster, ps []sim.Placement) ([]placement.PredCosts, error) {
+			n := calls.Add(1)
+			mu.Lock()
+			sizes = append(sizes, len(ps))
+			mu.Unlock()
+			if n == 1 {
+				close(entered)
+				<-release
+			}
+			out := make([]placement.PredCosts, len(ps))
+			for i, p := range ps {
+				out[i] = fakeCosts(p)
+			}
+			return out, nil
+		},
+		func(q *stream.Query, c *hardware.Cluster, p sim.Placement) (placement.PredCosts, error) {
+			t.Error("single-candidate fallback should not run")
+			return fakeCosts(p), nil
+		},
+		0,
+	)
+
+	var wg sync.WaitGroup
+	results := make([]predictResult, followers+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0] = co.predict("k", nil, nil, sim.Placement{0, 0, 0})
+	}()
+	<-entered // leader is now blocked inside PredictBatch
+
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = co.predict("k", nil, nil, sim.Placement{0, 0, i})
+		}(i)
+	}
+	// Wait until every follower has enqueued, then unblock the leader.
+	for co.enqueued.Load() < followers+1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("request %d: %v", i, r.err)
+		}
+		want := fakeCosts(sim.Placement{0, 0, i})
+		if i == 0 {
+			want = fakeCosts(sim.Placement{0, 0, 0})
+		}
+		if r.costs != want {
+			t.Errorf("request %d: costs %+v, want %+v", i, r.costs, want)
+		}
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("batch calls %d, want 2 (leader alone + one coalesced batch)", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sizes) != 2 || sizes[0] != 1 || sizes[1] != followers {
+		t.Errorf("batch sizes %v, want [1 %d]", sizes, followers)
+	}
+	if co.coalesced.Load() != followers {
+		t.Errorf("coalesced %d, want %d", co.coalesced.Load(), followers)
+	}
+}
+
+// TestCoalescerCapsBatchSize: queued requests beyond maxBatch are not
+// drained in one oversized PredictBatch call; they wait for the next
+// iteration, keeping per-call work bounded like the HTTP endpoints.
+func TestCoalescerCapsBatchSize(t *testing.T) {
+	const followers, maxBatch = 9, 4
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	var mu sync.Mutex
+	var sizes []int
+
+	co := newCoalescer(
+		func(q *stream.Query, c *hardware.Cluster, ps []sim.Placement) ([]placement.PredCosts, error) {
+			if calls.Add(1) == 1 {
+				close(entered)
+				<-release
+			}
+			mu.Lock()
+			sizes = append(sizes, len(ps))
+			mu.Unlock()
+			out := make([]placement.PredCosts, len(ps))
+			for i, p := range ps {
+				out[i] = fakeCosts(p)
+			}
+			return out, nil
+		},
+		func(q *stream.Query, c *hardware.Cluster, p sim.Placement) (placement.PredCosts, error) {
+			return fakeCosts(p), nil
+		},
+		maxBatch,
+	)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if r := co.predict("k", nil, nil, sim.Placement{0, 0, 0}); r.err != nil {
+			t.Error(r.err)
+		}
+	}()
+	<-entered
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if r := co.predict("k", nil, nil, sim.Placement{0, 0, i}); r.err != nil {
+				t.Error(r.err)
+			} else if want := fakeCosts(sim.Placement{0, 0, i}); r.costs != want {
+				t.Errorf("request %d: costs %+v, want %+v", i, r.costs, want)
+			}
+		}(i)
+	}
+	for co.enqueued.Load() < followers+1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i, n := range sizes {
+		if n > maxBatch {
+			t.Errorf("batch %d scored %d placements, cap is %d (sizes %v)", i, n, maxBatch, sizes)
+		}
+	}
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
+	if total != followers+1 {
+		t.Errorf("scored %d placements across %v, want %d", total, sizes, followers+1)
+	}
+}
+
+// TestCoalescerIsolatesBatchFailure: when a batch errors as a whole, each
+// member is re-scored alone so one bad request cannot poison the others.
+func TestCoalescerIsolatesBatchFailure(t *testing.T) {
+	co := newCoalescer(
+		func(q *stream.Query, c *hardware.Cluster, ps []sim.Placement) ([]placement.PredCosts, error) {
+			return nil, fmt.Errorf("batch exploded")
+		},
+		func(q *stream.Query, c *hardware.Cluster, p sim.Placement) (placement.PredCosts, error) {
+			if p[0] == 9 {
+				return placement.PredCosts{}, fmt.Errorf("bad placement")
+			}
+			return fakeCosts(p), nil
+		},
+		0,
+	)
+	good := co.predict("k", nil, nil, sim.Placement{0, 1, 2})
+	if good.err != nil || good.costs != fakeCosts(sim.Placement{0, 1, 2}) {
+		t.Errorf("good request after batch failure: %+v", good)
+	}
+	bad := co.predict("k", nil, nil, sim.Placement{9, 0, 0})
+	if bad.err == nil {
+		t.Error("bad request succeeded")
+	}
+}
+
+// TestConcurrentPredictRace hammers the full HTTP path from many
+// goroutines (run with -race): every response must match the
+// deterministic fake, and coalescing must never issue more batch calls
+// than requests.
+func TestConcurrentPredictRace(t *testing.T) {
+	s := newTestServer(t, Config{Predictor: &fakePred{delay: 2 * time.Millisecond}, CacheSize: 64, MaxInFlight: 4})
+	q, c := testQuery(t), testCluster()
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := sim.Placement{i % 3, (i / 3) % 3, 2}
+			w := doJSON(t, s, http.MethodPost, "/v1/predict", PredictRequest{Query: q, Cluster: c, Placement: p})
+			if w.Code != http.StatusOK {
+				errs <- fmt.Errorf("client %d: status %d: %s", i, w.Code, w.Body)
+				return
+			}
+			var resp PredictResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				errs <- err
+				return
+			}
+			if want := toCosts(fakeCosts(p)); resp.Costs != want {
+				errs <- fmt.Errorf("client %d: %+v != %+v", i, resp.Costs, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := s.snapshotStats()
+	if st.Requests["predict"] != clients {
+		t.Errorf("predict requests %d, want %d", st.Requests["predict"], clients)
+	}
+	hits, _ := s.cache.counters()
+	if got := st.Coalesce.Enqueued + hits; got != clients {
+		t.Errorf("enqueued(%d) + cache hits(%d) = %d, want %d", st.Coalesce.Enqueued, hits, got, clients)
+	}
+	if st.Coalesce.Batches > st.Coalesce.Enqueued {
+		t.Errorf("more batches (%d) than enqueued requests (%d)", st.Coalesce.Batches, st.Coalesce.Enqueued)
+	}
+}
+
+// TestServeMatchesDirectPredictions checks the acceptance criterion
+// end-to-end with a real trained model: HTTP responses carry exactly the
+// library's predictions (float64s survive the JSON round trip bit-for-bit).
+func TestServeMatchesDirectPredictions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	simCfg := sim.DefaultConfig()
+	simCfg.DurationS, simCfg.WarmupS = 30, 5
+	corpus, err := dataset.Build(dataset.BuildConfig{
+		N: 100, Seed: 11, Gen: workload.DefaultConfig(11), Sim: simCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val, _ := corpus.Split(0.7, 0.1, 11)
+	cfg := core.DefaultTrainConfig(11)
+	cfg.Epochs, cfg.Patience, cfg.Hidden = 1, 0, 8
+	pred, err := core.TrainPredictor(train, val, core.PredictorConfig{Train: cfg, EnsembleSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Predictor: pred})
+
+	for i, tr := range corpus.Traces[:10] {
+		want, err := pred.PredictPlacement(tr.Query, tr.Cluster, tr.Placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := doJSON(t, s, http.MethodPost, "/v1/predict",
+			PredictRequest{Query: tr.Query, Cluster: tr.Cluster, Placement: tr.Placement})
+		if w.Code != http.StatusOK {
+			t.Fatalf("trace %d: status %d: %s", i, w.Code, w.Body)
+		}
+		var resp PredictResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Costs != toCosts(want) {
+			t.Errorf("trace %d: served %+v != direct %+v", i, resp.Costs, toCosts(want))
+		}
+	}
+}
+
+func TestNewRequiresPredictor(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil predictor accepted")
+	}
+}

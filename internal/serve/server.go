@@ -1,0 +1,546 @@
+// Package serve implements costream-serve's HTTP layer: a long-running
+// JSON service that answers cost-prediction and placement-optimization
+// queries from one loaded model artifact. It is the serving half of the
+// zero-shot workflow — train once, save an artifact, then serve placement
+// decisions for unseen workloads without retraining.
+//
+// Endpoints:
+//
+//	POST /v1/predict        predict the five cost metrics for one placement
+//	POST /v1/predict-batch  score many placements of one query in one call
+//	POST /v1/optimize       enumerate + score + pick the best placement
+//	GET  /v1/example        a ready-to-POST sample predict request
+//	GET  /healthz           liveness plus model provenance
+//	GET  /stats             request, cache and coalescing counters
+//
+// The hot path is engineered for concurrent load: responses are served
+// from a bounded LRU keyed by a (query, cluster, placement) fingerprint;
+// cache misses for the same (query, cluster) are coalesced into shared
+// PredictBatch calls that featurize the query graph once for the whole
+// batch; and a semaphore bounds the predictor work in flight regardless
+// of how many requests are queued.
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"costream/internal/hardware"
+	"costream/internal/placement"
+	"costream/internal/sim"
+	"costream/internal/stream"
+	"costream/internal/workload"
+)
+
+// maxRequestBytes bounds request bodies; query plans and clusters are
+// small, so anything larger is abuse or a mistake.
+const maxRequestBytes = 16 << 20
+
+// maxCandidates bounds client-requested work per call: the number of
+// candidates one /v1/optimize may enumerate and the number of placements
+// one /v1/predict-batch may score. Both are clamped before any work (and
+// before the in-flight semaphore), so a single request cannot allocate
+// or compute unboundedly.
+const maxCandidates = 4096
+
+// Config configures a Server.
+type Config struct {
+	// Predictor answers cost queries; a loaded model artifact satisfies
+	// this. Required.
+	Predictor placement.BatchPredictor
+	// CacheSize is the LRU capacity in entries. 0 selects
+	// DefaultCacheSize; negative disables caching.
+	CacheSize int
+	// MaxInFlight bounds concurrent predictor work (batch scoring and
+	// optimization runs). <= 0 selects GOMAXPROCS.
+	MaxInFlight int
+	// OptimizeWorkers bounds the scoring worker pool of one /v1/optimize
+	// call; <= 0 selects GOMAXPROCS.
+	OptimizeWorkers int
+	// ModelInfo is surfaced verbatim under "model" in /healthz —
+	// typically the artifact's provenance.
+	ModelInfo any
+}
+
+// DefaultCacheSize is the prediction cache capacity when Config leaves
+// CacheSize zero.
+const DefaultCacheSize = 4096
+
+// Server is the HTTP handler for one loaded cost model.
+type Server struct {
+	cfg   Config
+	pred  placement.BatchPredictor
+	mux   *http.ServeMux
+	cache *lruCache
+	co    *coalescer
+	sem   chan struct{}
+	start time.Time
+	// example is the precomputed /v1/example response body: the sample
+	// request is deterministic (fixed seed), so it is built once.
+	example []byte
+
+	reqPredict  atomic.Int64
+	reqBatch    atomic.Int64
+	reqOptimize atomic.Int64
+	reqHealth   atomic.Int64
+	reqStats    atomic.Int64
+	errorCount  atomic.Int64
+	inflight    atomic.Int64
+}
+
+// New validates the configuration and builds the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Predictor == nil {
+		return nil, fmt.Errorf("serve: config needs a predictor")
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cfg:   cfg,
+		pred:  cfg.Predictor,
+		mux:   http.NewServeMux(),
+		cache: newLRUCache(cacheSize),
+		sem:   make(chan struct{}, maxInFlight),
+		start: time.Now(),
+	}
+	s.co = newCoalescer(
+		func(q *stream.Query, c *hardware.Cluster, ps []sim.Placement) ([]placement.PredCosts, error) {
+			s.acquire()
+			defer s.release()
+			return s.pred.PredictBatch(q, c, ps)
+		},
+		func(q *stream.Query, c *hardware.Cluster, p sim.Placement) (placement.PredCosts, error) {
+			s.acquire()
+			defer s.release()
+			return s.pred.PredictPlacement(q, c, p)
+		},
+		maxCandidates,
+	)
+	example, err := buildExample()
+	if err != nil {
+		return nil, err
+	}
+	s.example = example
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/predict-batch", s.handlePredictBatch)
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("GET /v1/example", s.handleExample)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) acquire() {
+	s.sem <- struct{}{}
+	s.inflight.Add(1)
+}
+
+func (s *Server) release() {
+	s.inflight.Add(-1)
+	<-s.sem
+}
+
+// Request / response schemas. Query, cluster and placement use the same
+// JSON shapes as the trace corpus written by costream-datagen.
+
+// PredictRequest asks for the cost of one placement.
+type PredictRequest struct {
+	Query     *stream.Query     `json:"query"`
+	Cluster   *hardware.Cluster `json:"cluster"`
+	Placement sim.Placement     `json:"placement"`
+}
+
+// PredictBatchRequest asks for the costs of many placements of one query.
+type PredictBatchRequest struct {
+	Query      *stream.Query     `json:"query"`
+	Cluster    *hardware.Cluster `json:"cluster"`
+	Placements []sim.Placement   `json:"placements"`
+}
+
+// OptimizeRequest asks the server to enumerate and score placement
+// candidates and return the best.
+type OptimizeRequest struct {
+	Query   *stream.Query     `json:"query"`
+	Cluster *hardware.Cluster `json:"cluster"`
+	// Candidates is the number of heuristic candidates to enumerate
+	// (default 16).
+	Candidates int `json:"candidates,omitempty"`
+	// Objective is one of "min-processing-latency" (default),
+	// "min-e2e-latency" or "max-throughput".
+	Objective string `json:"objective,omitempty"`
+	// Seed drives candidate enumeration (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Costs is the JSON form of the five predicted cost metrics.
+type Costs struct {
+	ThroughputTPS float64 `json:"throughput_tps"`
+	ProcLatencyMS float64 `json:"proc_latency_ms"`
+	E2ELatencyMS  float64 `json:"e2e_latency_ms"`
+	Success       bool    `json:"success"`
+	Backpressured bool    `json:"backpressured"`
+}
+
+func toCosts(pc placement.PredCosts) Costs {
+	return Costs{
+		ThroughputTPS: pc.ThroughputTPS,
+		ProcLatencyMS: pc.ProcLatencyMS,
+		E2ELatencyMS:  pc.E2ELatencyMS,
+		Success:       pc.Success,
+		Backpressured: pc.Backpressured,
+	}
+}
+
+// PredictResponse carries the predicted costs for one placement.
+type PredictResponse struct {
+	Costs Costs `json:"costs"`
+}
+
+// PredictBatchResponse carries per-placement costs, in request order.
+type PredictBatchResponse struct {
+	Costs []Costs `json:"costs"`
+}
+
+// OptimizeResponse carries the chosen placement and its predicted costs.
+type OptimizeResponse struct {
+	Placement sim.Placement `json:"placement"`
+	Costs     Costs         `json:"costs"`
+	// Candidates is how many placements were enumerated and scored.
+	Candidates int `json:"candidates"`
+	// Filtered counts candidates removed by the sanity check (predicted
+	// failure/backpressure) or scoring errors; Errored is the error subset.
+	Filtered int `json:"filtered"`
+	Errored  int `json:"errored"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// fingerprint hashes the JSON encodings of vals into a cache/group key.
+// encoding/json is deterministic for these types (no maps), so
+// structurally equal requests produce equal keys.
+func fingerprint(vals ...any) (string, error) {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for _, v := range vals {
+		if err := enc.Encode(v); err != nil {
+			return "", fmt.Errorf("serve: fingerprinting request: %w", err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		s.errorCount.Add(1)
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(buf.Bytes())
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.errorCount.Add(1)
+	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeRequest(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %v", err)
+	}
+	return nil
+}
+
+// validatePair checks the parts shared by every request kind.
+func validatePair(q *stream.Query, c *hardware.Cluster) error {
+	if q == nil {
+		return fmt.Errorf("missing query")
+	}
+	if c == nil {
+		return fmt.Errorf("missing cluster")
+	}
+	if err := q.Validate(); err != nil {
+		return fmt.Errorf("invalid query: %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("invalid cluster: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.reqPredict.Add(1)
+	var req PredictRequest
+	if err := decodeRequest(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := validatePair(req.Query, req.Cluster); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := req.Placement.Validate(req.Query, req.Cluster); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid placement: %v", err)
+		return
+	}
+
+	groupKey, err := fingerprint(req.Query, req.Cluster)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cacheKey, err := fingerprint(req.Placement)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cacheKey = groupKey + "/" + cacheKey
+
+	if costs, ok := s.cache.get(cacheKey); ok {
+		w.Header().Set("X-Costream-Cache", "hit")
+		s.writeJSON(w, http.StatusOK, PredictResponse{Costs: toCosts(costs)})
+		return
+	}
+	res := s.co.predict(groupKey, req.Query, req.Cluster, req.Placement)
+	if res.err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "prediction failed: %v", res.err)
+		return
+	}
+	s.cache.add(cacheKey, res.costs)
+	w.Header().Set("X-Costream-Cache", "miss")
+	w.Header().Set("X-Costream-Batch-Size", fmt.Sprint(res.batchSize))
+	s.writeJSON(w, http.StatusOK, PredictResponse{Costs: toCosts(res.costs)})
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	s.reqBatch.Add(1)
+	var req PredictBatchRequest
+	if err := decodeRequest(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := validatePair(req.Query, req.Cluster); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Placements) == 0 {
+		s.writeError(w, http.StatusBadRequest, "missing placements")
+		return
+	}
+	if len(req.Placements) > maxCandidates {
+		s.writeError(w, http.StatusBadRequest, "%d placements exceeds the per-request limit of %d", len(req.Placements), maxCandidates)
+		return
+	}
+	for i, p := range req.Placements {
+		if err := p.Validate(req.Query, req.Cluster); err != nil {
+			s.writeError(w, http.StatusBadRequest, "invalid placement %d: %v", i, err)
+			return
+		}
+	}
+	s.acquire()
+	out, err := s.pred.PredictBatch(req.Query, req.Cluster, req.Placements)
+	s.release()
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "prediction failed: %v", err)
+		return
+	}
+	resp := PredictBatchResponse{Costs: make([]Costs, len(out))}
+	for i, pc := range out {
+		resp.Costs[i] = toCosts(pc)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	s.reqOptimize.Add(1)
+	var req OptimizeRequest
+	if err := decodeRequest(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := validatePair(req.Query, req.Cluster); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	obj, err := parseObjective(req.Objective)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k := req.Candidates
+	if k <= 0 {
+		k = 16
+	}
+	if k > maxCandidates {
+		s.writeError(w, http.StatusBadRequest, "%d candidates exceeds the per-request limit of %d", k, maxCandidates)
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	cands := placement.Enumerate(rand.New(rand.NewSource(seed)), req.Query, req.Cluster, k)
+	if len(cands) == 0 {
+		s.writeError(w, http.StatusUnprocessableEntity,
+			"no valid placement candidates for %d operators on %d hosts",
+			req.Query.NumOps(), req.Cluster.NumHosts())
+		return
+	}
+	s.acquire()
+	res, err := placement.OptimizeOpts(s.pred, req.Query, req.Cluster, cands, obj,
+		placement.Options{Workers: s.cfg.OptimizeWorkers})
+	s.release()
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "optimization failed: %v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, OptimizeResponse{
+		Placement:  res.Placement,
+		Costs:      toCosts(res.Costs),
+		Candidates: len(cands),
+		Filtered:   res.Filtered,
+		Errored:    res.Errored,
+	})
+}
+
+func parseObjective(name string) (placement.Objective, error) {
+	switch name {
+	case "", placement.MinProcLatency.String():
+		return placement.MinProcLatency, nil
+	case placement.MinE2ELatency.String():
+		return placement.MinE2ELatency, nil
+	case placement.MaxThroughput.String():
+		return placement.MaxThroughput, nil
+	default:
+		return 0, fmt.Errorf("unknown objective %q (want %q, %q or %q)", name,
+			placement.MinProcLatency, placement.MinE2ELatency, placement.MaxThroughput)
+	}
+}
+
+// buildExample renders a deterministic, ready-to-POST predict request
+// drawn from the benchmark workload generator — live documentation of
+// the request schema and the body the CI smoke test POSTs back.
+func buildExample() ([]byte, error) {
+	gen := workload.New(workload.DefaultConfig(1))
+	q := gen.Query()
+	c := gen.Cluster()
+	p, err := placement.RandomValid(rand.New(rand.NewSource(1)), q, c)
+	if err != nil {
+		return nil, fmt.Errorf("serve: building example request: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(PredictRequest{Query: q, Cluster: c, Placement: p}); err != nil {
+		return nil, fmt.Errorf("serve: building example request: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (s *Server) handleExample(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.example)
+}
+
+type healthResponse struct {
+	Status  string  `json:"status"`
+	UptimeS float64 `json:"uptime_s"`
+	Model   any     `json:"model,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.reqHealth.Add(1)
+	s.writeJSON(w, http.StatusOK, healthResponse{
+		Status:  "ok",
+		UptimeS: time.Since(s.start).Seconds(),
+		Model:   s.cfg.ModelInfo,
+	})
+}
+
+// Stats is the /stats payload.
+type Stats struct {
+	UptimeS  float64        `json:"uptime_s"`
+	Requests map[string]int `json:"requests"`
+	Errors   int64          `json:"errors"`
+	Cache    CacheStats     `json:"cache"`
+	Coalesce CoalesceStats  `json:"coalescing"`
+	// InFlight is the predictor work currently executing; MaxInFlight is
+	// the semaphore bound.
+	InFlight    int64 `json:"in_flight"`
+	MaxInFlight int   `json:"max_in_flight"`
+}
+
+// CacheStats describes the prediction cache.
+type CacheStats struct {
+	Size     int   `json:"size"`
+	Capacity int   `json:"capacity"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+}
+
+// CoalesceStats describes request coalescing on the predict path.
+type CoalesceStats struct {
+	// Enqueued counts predict requests that reached the coalescer
+	// (cache misses); Batches counts PredictBatch calls issued for them;
+	// Coalesced counts requests that shared a batch with others.
+	Enqueued  int64 `json:"enqueued"`
+	Batches   int64 `json:"batches"`
+	Coalesced int64 `json:"coalesced"`
+}
+
+func (s *Server) snapshotStats() Stats {
+	hits, misses := s.cache.counters()
+	return Stats{
+		UptimeS: time.Since(s.start).Seconds(),
+		Requests: map[string]int{
+			"predict":       int(s.reqPredict.Load()),
+			"predict_batch": int(s.reqBatch.Load()),
+			"optimize":      int(s.reqOptimize.Load()),
+			"healthz":       int(s.reqHealth.Load()),
+			"stats":         int(s.reqStats.Load()),
+		},
+		Errors: s.errorCount.Load(),
+		Cache: CacheStats{
+			Size:     s.cache.len(),
+			Capacity: s.cache.capacity(),
+			Hits:     hits,
+			Misses:   misses,
+		},
+		Coalesce: CoalesceStats{
+			Enqueued:  s.co.enqueued.Load(),
+			Batches:   s.co.batches.Load(),
+			Coalesced: s.co.coalesced.Load(),
+		},
+		InFlight:    s.inflight.Load(),
+		MaxInFlight: cap(s.sem),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.reqStats.Add(1)
+	s.writeJSON(w, http.StatusOK, s.snapshotStats())
+}
