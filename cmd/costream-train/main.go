@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,6 +27,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("costream-train: ")
+	// Errors return out of run so its defers — notably flushing the CPU
+	// profile — execute before the fatal exit.
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	var (
 		corpusPath = flag.String("corpus", "corpus.json.gz", "training corpus path")
 		metricList = flag.String("metrics", "all", `metrics to train: "all" or a comma-separated subset of throughput,proc-latency,e2e-latency,backpressure,success`)
@@ -36,21 +46,36 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		note       = flag.String("note", "", "free-form provenance note stored in the artifact")
 		verbose    = flag.Bool("v", false, "log per-epoch losses")
+		workers    = flag.Int("workers", 0, "total training-worker budget and per-model data parallelism (0 = GOMAXPROCS); trained weights are identical for any value")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
 	if *ensemble < 1 {
-		log.Fatalf("-ensemble must be at least 1, got %d", *ensemble)
+		return fmt.Errorf("-ensemble must be at least 1, got %d", *ensemble)
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	core.SetTrainBudget(*workers)
 	corpus, err := dataset.Load(*corpusPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	train, val, _ := corpus.Split(0.8, 0.1, *seed)
 	cfg := core.DefaultTrainConfig(*seed)
 	cfg.Epochs = *epochs
 	cfg.Hidden = *hidden
 	cfg.LR = *lr
+	cfg.Workers = *workers
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) { log.Printf(format, args...) }
 	}
@@ -62,7 +87,7 @@ func main() {
 		for _, name := range strings.Split(*metricList, ",") {
 			m, err := core.ParseMetric(strings.TrimSpace(name))
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			metrics = append(metrics, m)
 		}
@@ -75,7 +100,7 @@ func main() {
 		Metrics:      metrics,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	elapsed := time.Since(start).Round(time.Second)
 
@@ -89,7 +114,7 @@ func main() {
 		Note:         *note,
 	}
 	if err := artifact.Save(*out, pred, prov); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	names := make([]string, len(metrics))
 	for i, m := range metrics {
@@ -97,4 +122,5 @@ func main() {
 	}
 	fmt.Printf("trained %d metric(s) [%s] x %d members on %d traces in %v -> %s\n",
 		len(metrics), strings.Join(names, ", "), *ensemble, train.Len(), elapsed, *out)
+	return nil
 }

@@ -153,6 +153,13 @@ type TrainOptions struct {
 	EnsembleSize int
 	// Seed drives initialization and shuffling.
 	Seed int64
+	// Workers bounds the data-parallel training workers per model
+	// (<= 0 selects GOMAXPROCS). Trained weights are bit-identical for
+	// every Workers value. Total concurrency across all metrics and
+	// ensemble members is capped by the shared process-wide budget
+	// (GOMAXPROCS unless changed via SetTrainParallelism), so raising
+	// Workers never oversubscribes the machine.
+	Workers int
 	// Logf, when set, receives training progress lines.
 	Logf func(format string, args ...any)
 }
@@ -180,6 +187,13 @@ type Model struct {
 // train seed, corpus size, epochs, ensemble size and creation time.
 type ModelInfo = artifact.Provenance
 
+// SetTrainParallelism bounds the total number of concurrently executing
+// training worker tasks in this process, across every model, metric and
+// ensemble member trained after the call; n <= 0 resets the budget to
+// GOMAXPROCS. It does not affect trained weights — only how many cores
+// training occupies.
+func SetTrainParallelism(n int) { core.SetTrainBudget(n) }
+
 // TrainModel trains COSTREAM on the corpus (80/10 train/validation split;
 // the remainder is unused and may serve as a test set).
 func TrainModel(c *Corpus, opts TrainOptions) (*Model, error) {
@@ -194,6 +208,7 @@ func TrainModel(c *Corpus, opts TrainOptions) (*Model, error) {
 		Hidden:    opts.Hidden,
 		Seed:      opts.Seed,
 		Patience:  8,
+		Workers:   opts.Workers,
 		Logf:      opts.Logf,
 	}
 	pr, err := core.TrainPredictor(train, val, core.PredictorConfig{

@@ -19,7 +19,7 @@ var (
 	corpusErr  error
 )
 
-func testCorpus(t *testing.T) *dataset.Corpus {
+func testCorpus(t testing.TB) *dataset.Corpus {
 	t.Helper()
 	corpusOnce.Do(func() {
 		simCfg := sim.DefaultConfig()

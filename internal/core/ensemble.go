@@ -20,7 +20,9 @@ type Ensemble struct {
 }
 
 // TrainEnsemble trains k models with different random initialization seeds
-// in parallel.
+// in parallel. Each member's data-parallel fit workers draw from the
+// process-wide training budget (SetTrainBudget), so the metric x member x
+// worker fan-out never oversubscribes the machine regardless of k.
 func TrainEnsemble(train, val *dataset.Corpus, metric Metric, cfg TrainConfig, k int) (*Ensemble, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: ensemble size must be positive")

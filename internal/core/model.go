@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"costream/internal/dataset"
 	"costream/internal/gnn"
@@ -84,6 +86,16 @@ type TrainConfig struct {
 	// Patience is the early-stopping patience in epochs on the
 	// validation loss; 0 disables early stopping.
 	Patience int
+	// Workers bounds the data-parallel training workers per model
+	// (<= 0 selects GOMAXPROCS). The trained weights are bit-identical
+	// for every Workers value: minibatches are partitioned into a fixed
+	// set of gradient chunks that are accumulated and reduced in a
+	// worker-independent order (see fit). Gradient work tops out at the
+	// chunk count (8) per model — ensembles parallelize further across
+	// members — while validation passes shard up to the full Workers
+	// value. Actual concurrency is additionally capped by the
+	// process-wide SetTrainBudget semaphore.
+	Workers int
 	// Hidden overrides the GNN hidden width (0 = default).
 	Hidden int
 	// Mode selects the featurization (Exp 7a ablation).
@@ -114,8 +126,20 @@ type CostModel struct {
 
 type sample struct {
 	graph *gnn.Graph
-	y     float64 // log1p cost for regression, 0/1 for classification
-	w     float64 // loss weight (class balancing)
+	plan  *gnn.Plan // flow structure, derived once at featurization time
+	y     float64   // log1p cost for regression, 0/1 for classification
+	w     float64   // loss weight (class balancing)
+}
+
+// newSample derives the sample's message-passing plan once so the
+// training loop never re-validates the graph or re-derives its topo
+// order (Forward would otherwise redo both every epoch).
+func newSample(g *gnn.Graph, y, w float64) (sample, error) {
+	plan, err := gnn.NewPlan(g)
+	if err != nil {
+		return sample{}, err
+	}
+	return sample{graph: g, plan: plan, y: y, w: w}, nil
 }
 
 // buildSamples featurizes the corpus for the metric. Regression uses only
@@ -133,7 +157,11 @@ func buildSamples(f *Featurizer, c *dataset.Corpus, metric Metric) ([]sample, er
 			if err != nil {
 				return nil, err
 			}
-			samples = append(samples, sample{graph: g, y: math.Log1p(metric.Value(tr.Metrics)), w: 1})
+			s, err := newSample(g, math.Log1p(metric.Value(tr.Metrics)), 1)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
 		}
 		return samples, nil
 	}
@@ -160,18 +188,24 @@ func buildSamples(f *Featurizer, c *dataset.Corpus, metric Metric) ([]sample, er
 		if metric.Label(tr.Metrics) {
 			y, w = 1, wPos
 		}
-		samples = append(samples, sample{graph: g, y: y, w: w})
+		s, err := newSample(g, y, w)
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, s)
 	}
 	return samples, nil
 }
 
-func (cm *CostModel) loss(t *nn.Tape, s sample) (*nn.Node, error) {
-	out, err := cm.Net.Forward(t, s.graph)
+// sampleLoss records the forward pass and loss of one sample on the tape
+// through the given net (the model itself, or a gradient shadow of it).
+func sampleLoss(net *gnn.Model, metric Metric, t *nn.Tape, sc *gnn.Scratch, s sample) (*nn.Node, error) {
+	out, err := net.ForwardPlanned(t, s.graph, s.plan, sc)
 	if err != nil {
 		return nil, err
 	}
 	var l *nn.Node
-	if cm.Metric.IsRegression() {
+	if metric.IsRegression() {
 		// Targets are already in log1p space, so squared error here is
 		// exactly the paper's MSLE.
 		l = nn.MSLELoss(t, out, math.Expm1(s.y))
@@ -184,20 +218,145 @@ func (cm *CostModel) loss(t *nn.Tape, s sample) (*nn.Node, error) {
 	return l, nil
 }
 
-func meanLoss(cm *CostModel, samples []sample) (float64, error) {
+// trainWorker owns the reusable per-goroutine state of the data-parallel
+// training loop: a training tape arena, an inference tape for validation
+// passes (no gradient buffers), and the GNN scratch. Steady-state, a
+// worker processes a sample without heap allocations.
+type trainWorker struct {
+	tape    *nn.Tape
+	itape   *nn.Tape
+	scratch *gnn.Scratch
+}
+
+func newTrainWorker() *trainWorker {
+	return &trainWorker{tape: nn.NewTape(), itape: nn.NewInferenceTape(), scratch: gnn.NewScratch()}
+}
+
+// maxGradSlots is the fixed number of gradient-reduction chunks a
+// minibatch is partitioned into. The partition depends only on the batch
+// size — never on the worker count — so the summation tree, and with it
+// the trained weights, are identical for any TrainConfig.Workers value.
+// Eight chunks bound the per-batch reduction traffic (one pass over the
+// parameters per chunk) while still feeding eight-way parallelism per
+// model; ensembles parallelize further across members under the shared
+// training budget.
+const maxGradSlots = 8
+
+// gradSlot is one reduction chunk's private gradient accumulator: a
+// weight-sharing shadow of the model whose gradient buffers belong to
+// this chunk alone. Chunk c of a batch always holds samples c, c+C,
+// c+2C, ... (C = chunk count), processed in that order, and the chunks
+// are reduced in index order no matter which worker ran them.
+type gradSlot struct {
+	net   *gnn.Model
+	grads [][]float64
+	loss  float64
+	err   error
+}
+
+// runSlot processes one reduction chunk: for each of the chunk's samples
+// it resets the worker's tape arena, records forward + loss, and
+// backpropagates into the chunk's gradient buffers (left zeroed by the
+// previous reduceSlots). inv is the 1/batch-size averaging factor;
+// nSlots the batch's chunk count.
+func (w *trainWorker) runSlot(slot *gradSlot, idx, nSlots int, metric Metric, batch []sample, inv float64) {
+	tok := acquireTrainToken()
+	defer releaseTrainToken(tok)
+	slot.loss, slot.err = 0, nil
+	for j := idx; j < len(batch); j += nSlots {
+		w.tape.Reset()
+		l, err := sampleLoss(slot.net, metric, w.tape, w.scratch, batch[j])
+		if err != nil {
+			slot.err = err
+			return
+		}
+		// Average gradients over the batch.
+		l = w.tape.Scale(l, inv)
+		slot.loss += l.Data[0]
+		w.tape.Backward(l)
+	}
+}
+
+// shard runs fn(worker index, element index) for indices 0..n-1, strided
+// across the workers. With one worker it degenerates to a plain loop.
+func shard(workers int, n int, fn func(w, j int)) {
+	if workers == 1 || n <= 1 {
+		for j := 0; j < n; j++ {
+			fn(0, j)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := w; j < n; j += workers {
+				fn(w, j)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// meanLoss computes the mean loss over the samples on inference tapes (no
+// gradient buffers, no backward records), sharded across the workers.
+// Per-sample losses are summed in sample-index order, so the result is
+// independent of the worker count.
+func meanLoss(cm *CostModel, samples []sample, workers []*trainWorker) (float64, error) {
 	if len(samples) == 0 {
 		return 0, nil
 	}
-	var sum float64
-	for _, s := range samples {
-		t := nn.NewTape()
-		l, err := cm.loss(t, s)
+	losses := make([]float64, len(samples))
+	errs := make([]error, len(workers))
+	shard(len(workers), len(samples), func(w, j int) {
+		if errs[w] != nil {
+			return
+		}
+		tok := acquireTrainToken()
+		defer releaseTrainToken(tok)
+		wk := workers[w]
+		wk.itape.Reset()
+		l, err := sampleLoss(cm.Net, cm.Metric, wk.itape, wk.scratch, samples[j])
+		if err != nil {
+			errs[w] = err
+			return
+		}
+		losses[j] = l.Data[0]
+	})
+	for _, err := range errs {
 		if err != nil {
 			return 0, err
 		}
-		sum += l.Data[0]
+	}
+	var sum float64
+	for _, l := range losses {
+		sum += l
 	}
 	return sum / float64(len(samples)), nil
+}
+
+// reduceSlots folds the slots' gradients into dst in slot (= sample)
+// order, consuming them: slot 0 overwrites, later slots accumulate, and
+// every slot buffer is left zeroed for the next batch. Because each
+// parameter receives contributions strictly in slot order, the reduction
+// is bit-identical no matter which workers filled the slots — and the
+// overwrite doubles as the single gradient-zeroing point of the training
+// loop (dst only ever holds the current batch's reduction).
+func reduceSlots(dst [][]float64, slots []*gradSlot) {
+	for k := range dst {
+		d := dst[k]
+		s0 := slots[0].grads[k]
+		copy(d, s0)
+		clear(s0)
+		for _, sl := range slots[1:] {
+			s := sl.grads[k]
+			for i, v := range s {
+				d[i] += v
+			}
+			clear(s)
+		}
+	}
 }
 
 // Train trains a COSTREAM model for the metric on the training corpus,
@@ -239,10 +398,41 @@ func Train(train, val *dataset.Corpus, metric Metric, cfg TrainConfig) (*CostMod
 }
 
 // fit runs the minibatch Adam loop with optional early stopping.
+//
+// Minibatches are data-parallel: each batch is partitioned into a fixed
+// number of stride chunks (maxGradSlots), every chunk accumulates its
+// samples' gradients into a private shadow buffer in sample order, and
+// the chunks are reduced into the optimizer's gradient buffers in chunk
+// order before every Adam step. The partition and both orders depend
+// only on the batch — never on cfg.Workers — so the trained weights are
+// bit-identical for any worker count.
 func (cm *CostModel) fit(trainSamples, valSamples []sample, cfg TrainConfig) error {
 	params, grads := cm.Net.Params()
 	opt := nn.NewAdam(cfg.LR, params, grads)
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5EED))
+
+	nSlots := min(maxGradSlots, cfg.BatchSize, len(trainSamples))
+	nw := cfg.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	// Gradient workers are capped by the chunk count; validation has no
+	// reduction and may use the full worker allowance, so size the pool
+	// for whichever is larger.
+	nwFit := min(nw, nSlots)
+	if len(valSamples) == 0 {
+		nw = nwFit
+	}
+	workers := make([]*trainWorker, nw)
+	for i := range workers {
+		workers[i] = newTrainWorker()
+	}
+	slots := make([]*gradSlot, nSlots)
+	for i := range slots {
+		shadow := cm.Net.GradShadow()
+		_, sg := shadow.Params()
+		slots[i] = &gradSlot{net: shadow, grads: sg}
+	}
 
 	best := math.Inf(1)
 	bestParams := snapshot(params)
@@ -253,28 +443,25 @@ func (cm *CostModel) fit(trainSamples, valSamples []sample, cfg TrainConfig) err
 		})
 		var epochLoss float64
 		for start := 0; start < len(trainSamples); start += cfg.BatchSize {
-			end := start + cfg.BatchSize
-			if end > len(trainSamples) {
-				end = len(trainSamples)
-			}
-			opt.ZeroGrads()
-			for _, s := range trainSamples[start:end] {
-				t := nn.NewTape()
-				l, err := cm.loss(t, s)
-				if err != nil {
-					return err
+			end := min(start+cfg.BatchSize, len(trainSamples))
+			batch := trainSamples[start:end]
+			inv := 1 / float64(len(batch))
+			live := min(nSlots, len(batch))
+			shard(nwFit, live, func(w, c int) {
+				workers[w].runSlot(slots[c], c, live, cm.Metric, batch, inv)
+			})
+			for _, slot := range slots[:live] {
+				if slot.err != nil {
+					return slot.err
 				}
-				// Average gradients over the batch.
-				l = t.Scale(l, 1/float64(end-start))
-				epochLoss += l.Data[0]
-				t.Backward(l)
+				epochLoss += slot.loss
 			}
+			reduceSlots(grads, slots[:live])
 			opt.Step()
-			opt.ZeroGrads()
 		}
 		monitored := epochLoss / float64((len(trainSamples)+cfg.BatchSize-1)/cfg.BatchSize)
 		if len(valSamples) > 0 {
-			vl, err := meanLoss(cm, valSamples)
+			vl, err := meanLoss(cm, valSamples, workers)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"costream/internal/dataset"
+	"costream/internal/gnn"
+)
+
+// subCorpus slices the shared test corpus so the parallel-training tests
+// stay fast (also under -race).
+func subCorpus(t testing.TB, n int) *dataset.Corpus {
+	c := testCorpus(t)
+	if len(c.Traces) < n {
+		n = len(c.Traces)
+	}
+	return &dataset.Corpus{Traces: c.Traces[:n]}
+}
+
+func trainedParams(t *testing.T, metric Metric, workers int) [][]float64 {
+	t.Helper()
+	c := subCorpus(t, 120)
+	train, val, _ := c.Split(0.8, 0.2, 7)
+	cfg := DefaultTrainConfig(7)
+	cfg.Epochs = 3
+	cfg.Patience = 0
+	cfg.Hidden = 12
+	cfg.BatchSize = 8
+	cfg.Workers = workers
+	cm, err := Train(train, val, metric, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, _ := cm.Net.Params()
+	return snapshot(params)
+}
+
+// TestTrainWorkerCountInvariance is the determinism contract of the
+// data-parallel training engine: the trained weights must be bit-identical
+// for every Workers value, for both loss heads. The CI -race run of this
+// test also exercises the concurrent batch path for data races.
+func TestTrainWorkerCountInvariance(t *testing.T) {
+	for _, metric := range []Metric{MetricE2ELatency, MetricSuccess} {
+		ref := trainedParams(t, metric, 1)
+		for _, workers := range []int{2, 8} {
+			got := trainedParams(t, metric, workers)
+			if len(got) != len(ref) {
+				t.Fatalf("%v: param group count %d != %d", metric, len(got), len(ref))
+			}
+			for k := range ref {
+				for i := range ref[k] {
+					if got[k][i] != ref[k][i] {
+						t.Fatalf("%v: workers=%d param %d[%d] = %v, want %v (workers=1)",
+							metric, workers, k, i, got[k][i], ref[k][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTrainEpochSteadyStateAllocs pins the arena guarantee on the real
+// training path: once tapes, scratch and slot shadows are warm, processing
+// one sample (forward + loss + backward on the full GNN) performs zero
+// heap allocations.
+func TestTrainEpochSteadyStateAllocs(t *testing.T) {
+	c := subCorpus(t, 40)
+	feat := Featurizer{}
+	samples, err := buildSamples(&feat, c, MetricE2ELatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 4 {
+		t.Skipf("only %d usable samples", len(samples))
+	}
+	samples = samples[:4]
+	gcfg := gnn.DefaultConfig(feat.FeatDims())
+	gcfg.Hidden = 16
+	net, err := gnn.New(gcfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newTrainWorker()
+	shadow := net.GradShadow()
+	_, sg := shadow.Params()
+	slot := &gradSlot{net: shadow, grads: sg}
+
+	step := func() {
+		// One chunk spanning all samples: forward + loss + backward per
+		// sample with no reduction, isolating the tape/scratch path.
+		w.runSlot(slot, 0, 1, MetricE2ELatency, samples, 0.25)
+		if slot.err != nil {
+			t.Fatal(slot.err)
+		}
+	}
+	step() // warm the tape arena and scratch across all graph shapes
+	step()
+	if avg := testing.AllocsPerRun(20, step); avg > 0 {
+		t.Errorf("steady-state allocs per %d-sample batch = %v, want 0", len(samples), avg)
+	}
+}
+
+// TestMeanLossWorkerCountInvariance checks the parallel validation pass:
+// identical result for any worker count, and identical to what the value
+// was under the serial implementation (plain mean in sample order).
+func TestMeanLossWorkerCountInvariance(t *testing.T) {
+	c := subCorpus(t, 80)
+	cfg := fastTrainConfig(3)
+	cfg.Epochs = 2
+	cfg.Workers = 2
+	train, val, _ := c.Split(0.7, 0.3, 3)
+	cm, err := Train(train, nil, MetricThroughput, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valSamples, err := buildSamples(&cm.Feat, val, cm.Metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(n int) []*trainWorker {
+		ws := make([]*trainWorker, n)
+		for i := range ws {
+			ws[i] = newTrainWorker()
+		}
+		return ws
+	}
+	ref, err := meanLoss(cm, valSamples, mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{3, 8} {
+		got, err := meanLoss(cm, valSamples, mk(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Fatalf("meanLoss with %d workers = %v, want %v", n, got, ref)
+		}
+	}
+}
+
+// TestSetTrainBudget sanity-checks the process-wide budget: training
+// still works with a budget of 1 and after resetting to the default.
+func TestSetTrainBudget(t *testing.T) {
+	SetTrainBudget(1)
+	defer SetTrainBudget(0)
+	c := subCorpus(t, 60)
+	train, _, _ := c.Split(0.9, 0.05, 5)
+	cfg := DefaultTrainConfig(5)
+	cfg.Epochs = 1
+	cfg.Patience = 0
+	cfg.Hidden = 8
+	cfg.Workers = 4
+	if _, err := Train(train, nil, MetricProcLatency, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"costream/internal/nn"
 )
@@ -105,6 +105,28 @@ func (m *Model) ZeroGrad() {
 	m.out.ZeroGrad()
 }
 
+// GradShadow returns a model that shares this model's weight slices but
+// owns private zeroed gradient buffers. Shadows let data-parallel
+// training run concurrent backward passes — one shadow per batch slot —
+// without racing on the gradient accumulators; Params on the shadow
+// yields the shared weights paired with the shadow's own gradients, in
+// the same deterministic order as the original.
+func (m *Model) GradShadow() *Model {
+	s := &Model{
+		cfg: m.cfg,
+		enc: make(map[NodeKind]*nn.MLP, len(m.enc)),
+		upd: make(map[NodeKind]*nn.MLP, len(m.upd)),
+		out: m.out.GradShadow(),
+	}
+	for k, e := range m.enc {
+		s.enc[k] = e.GradShadow()
+	}
+	for k, u := range m.upd {
+		s.upd[k] = u.GradShadow()
+	}
+	return s
+}
+
 // NumParams returns the total scalar parameter count.
 func (m *Model) NumParams() int {
 	n := m.out.NumParams()
@@ -118,13 +140,29 @@ func (m *Model) NumParams() int {
 }
 
 // Forward records the full forward pass of the graph on the tape and
-// returns the scalar output node.
+// returns the scalar output node. It validates the graph and derives its
+// flow structure on the fly; training loops that evaluate the same graph
+// every epoch should precompute a Plan once and call ForwardPlanned.
 func (m *Model) Forward(t *nn.Tape, g *Graph) (*nn.Node, error) {
-	if err := g.Validate(); err != nil {
+	plan, err := NewPlan(g)
+	if err != nil {
 		return nil, err
 	}
+	return m.ForwardPlanned(t, g, plan, nil)
+}
+
+// ForwardPlanned is Forward with a precomputed Plan and an optional
+// reusable Scratch. The graph is trusted to be structurally valid and
+// consistent with the plan (NewPlan validated it); only the per-node
+// encoder checks remain. With a per-worker tape and scratch, the
+// steady-state pass performs zero heap allocations.
+func (m *Model) ForwardPlanned(t *nn.Tape, g *Graph, plan *Plan, s *Scratch) (*nn.Node, error) {
+	if s == nil {
+		s = NewScratch()
+	}
 	n := len(g.Nodes)
-	hidden := make([]*nn.Node, n)
+	s.grow(n)
+	hidden := s.hidden[:n]
 	for i, nd := range g.Nodes {
 		enc, ok := m.enc[nd.Kind]
 		if !ok {
@@ -136,82 +174,76 @@ func (m *Model) Forward(t *nn.Tape, g *Graph) (*nn.Node, error) {
 		}
 		hidden[i] = enc.Apply(t, t.Const(nd.Feat))
 	}
-	var err error
 	if m.cfg.Traditional {
+		var err error
 		hidden, err = m.traditionalPassing(t, g, hidden)
+		if err != nil {
+			return nil, err
+		}
 	} else {
-		hidden, err = m.directedPassing(t, g, hidden)
-	}
-	if err != nil {
-		return nil, err
+		hidden = m.directedPassing(t, g, hidden, plan, s)
 	}
 	readout := t.Sum(hidden...)
 	return m.out.Apply(t, readout), nil
 }
 
 // update applies the node-type specific update MLP to
-// concat(sum(children), own state). children must be non-empty.
+// concat(sum(children), own state). children must be non-empty; the slice
+// may be a reused scratch buffer (the tape copies it).
 func (m *Model) update(t *nn.Tape, kind NodeKind, children []*nn.Node, own *nn.Node) *nn.Node {
 	agg := t.Sum(children...)
-	return m.upd[kind].Apply(t, t.Concat(agg, own))
+	return m.upd[kind].Apply(t, t.Concat2(agg, own))
 }
 
 // directedPassing implements the paper's three ordered phases.
-func (m *Model) directedPassing(t *nn.Tape, g *Graph, h []*nn.Node) ([]*nn.Node, error) {
+func (m *Model) directedPassing(t *nn.Tape, g *Graph, h []*nn.Node, plan *Plan, s *Scratch) []*nn.Node {
 	// Phase 1: operators -> hardware. Hosts learn the computational
 	// requirements of the operators placed on them (co-location sends
 	// multiple messages to the same host).
-	hostChildren := make(map[int][]*nn.Node)
-	hostOrder := make([]int, 0, 8)
 	for _, e := range g.PlaceEdges {
-		if _, ok := hostChildren[e[1]]; !ok {
-			hostOrder = append(hostOrder, e[1])
+		if len(s.hostKids[e[1]]) == 0 {
+			s.hostOrder = append(s.hostOrder, e[1])
 		}
-		hostChildren[e[1]] = append(hostChildren[e[1]], h[e[0]])
+		s.hostKids[e[1]] = append(s.hostKids[e[1]], h[e[0]])
 	}
-	sort.Ints(hostOrder)
-	next := make([]*nn.Node, len(h))
+	slices.Sort(s.hostOrder)
+	next := s.next[:len(h)]
 	copy(next, h)
 	// Hosts are updated in ascending index order: while their new states
 	// are order-independent, the tape-recording order determines gradient
 	// accumulation order, and training must be bit-reproducible.
-	for _, hostIdx := range hostOrder {
-		next[hostIdx] = m.update(t, KindHost, hostChildren[hostIdx], h[hostIdx])
+	for _, hostIdx := range s.hostOrder {
+		next[hostIdx] = m.update(t, KindHost, s.hostKids[hostIdx], h[hostIdx])
+		s.hostKids[hostIdx] = s.hostKids[hostIdx][:0]
 	}
 
 	// Phase 2: hardware -> operators. Operators learn the resources they
 	// are placed on.
-	after2 := make([]*nn.Node, len(next))
+	after2 := s.after2[:len(next)]
 	copy(after2, next)
 	for _, e := range g.PlaceEdges {
 		opIdx, hostIdx := e[0], e[1]
-		after2[opIdx] = m.update(t, g.Nodes[opIdx].Kind, []*nn.Node{next[hostIdx]}, next[opIdx])
+		s.one[0] = next[hostIdx]
+		after2[opIdx] = m.update(t, g.Nodes[opIdx].Kind, s.one[:], next[opIdx])
 	}
 
 	// Phase 3: sources -> ... -> sink along the data flow, merging
 	// source characteristics with operator and hardware information.
-	order, err := g.opTopoOrder()
-	if err != nil {
-		return nil, err
-	}
-	ups := make(map[int][]int)
-	for _, e := range g.FlowEdges {
-		ups[e[1]] = append(ups[e[1]], e[0])
-	}
-	final := make([]*nn.Node, len(after2))
+	final := s.final[:len(after2)]
 	copy(final, after2)
-	for _, v := range order {
-		parents := ups[v]
+	for _, v := range plan.order {
+		parents := plan.ups[v]
 		if len(parents) == 0 {
 			continue // sources send but do not receive in this phase
 		}
-		children := make([]*nn.Node, len(parents))
-		for i, p := range parents {
-			children[i] = final[p]
+		children := s.kids[:0]
+		for _, p := range parents {
+			children = append(children, final[p])
 		}
+		s.kids = children[:0]
 		final[v] = m.update(t, g.Nodes[v].Kind, children, after2[v])
 	}
-	return final, nil
+	return final
 }
 
 // traditionalPassing is the Exp 7b ablation: in each round every node is

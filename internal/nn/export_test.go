@@ -1,0 +1,12 @@
+package nn
+
+// customOp records a node with an arbitrary backward closure. Tests use
+// it to build ad-hoc scalar heads (weighted sums) around the fixed op set
+// without widening the production API.
+func (t *Tape) customOp(data []float64, back func()) *Node {
+	n := t.take(len(data))
+	n.op = opCustom
+	n.Data = data
+	n.back = back
+	return n
+}

@@ -17,10 +17,9 @@ func MSLELoss(t *Tape, zhat *Node, y float64) *Node {
 	}
 	z := math.Log1p(y)
 	diff := zhat.Data[0] - z
-	out := t.node([]float64{diff * diff}, nil)
-	out.back = func() {
-		zhat.Grad[0] += out.Grad[0] * 2 * diff
-	}
+	out := t.alloc(1)
+	out.Data[0] = diff * diff
+	out.op, out.a, out.c = opMSLE, zhat, z
 	return out
 }
 
@@ -33,12 +32,9 @@ func BCEWithLogitsLoss(t *Tape, logit *Node, y float64) *Node {
 	}
 	x := logit.Data[0]
 	loss := math.Max(x, 0) - x*y + math.Log1p(math.Exp(-math.Abs(x)))
-	out := t.node([]float64{loss}, nil)
-	out.back = func() {
-		// dL/dx = sigmoid(x) - y
-		out0 := out.Grad[0]
-		logit.Grad[0] += out0 * (sigmoid(x) - y)
-	}
+	out := t.alloc(1)
+	out.Data[0] = loss
+	out.op, out.a, out.c = opBCE, logit, y
 	return out
 }
 

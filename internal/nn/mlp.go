@@ -31,48 +31,90 @@ func NewLinear(rng *rand.Rand, in, out int) *Linear {
 	return l
 }
 
-// forward computes y = W*x + b into a fresh slice. Apply and Infer share
-// this exact loop so that tape-based and inference-only forward passes are
+// affineInto computes y = W*x + b into dst. Apply and Infer share this
+// exact loop so that tape-based and inference-only forward passes are
 // bit-identical.
-func (l *Linear) forward(x []float64) []float64 {
+func (l *Linear) affineInto(dst, x []float64) {
 	if len(x) != l.In {
 		panic(fmt.Sprintf("nn: Linear input dim %d, want %d", len(x), l.In))
 	}
-	data := make([]float64, l.Out)
 	for o := 0; o < l.Out; o++ {
 		sum := l.B[o]
 		row := l.W[o*l.In : (o+1)*l.In]
 		for i, xi := range x {
 			sum += row[i] * xi
 		}
-		data[o] = sum
+		dst[o] = sum
 	}
+}
+
+// forward computes y = W*x + b into a fresh slice.
+func (l *Linear) forward(x []float64) []float64 {
+	data := make([]float64, l.Out)
+	l.affineInto(data, x)
 	return data
 }
 
 // Infer computes y = W*x + b without recording anything for backprop.
 func (l *Linear) Infer(x []float64) []float64 { return l.forward(x) }
 
-// Apply records y = W*x + b on the tape.
+// Apply records y = W*x + b on the tape as a single affine op.
 func (l *Linear) Apply(t *Tape, x *Node) *Node {
-	data := l.forward(x.Data)
-	out := t.node(data, nil)
-	out.back = func() {
-		for o := 0; o < l.Out; o++ {
-			g := out.Grad[o]
-			if g == 0 {
-				continue
-			}
-			row := l.W[o*l.In : (o+1)*l.In]
-			grow := l.GW[o*l.In : (o+1)*l.In]
-			for i, xi := range x.Data {
-				grow[i] += g * xi
-				x.Grad[i] += g * row[i]
-			}
-			l.GB[o] += g
-		}
-	}
+	out := t.alloc(l.Out)
+	l.affineInto(out.Data, x.Data)
+	out.op, out.a, out.lin = opAffine, x, l
 	return out
+}
+
+// applyLeaky records the fused affine+LeakyReLU op leaky(W*x + b, alpha):
+// the MLP hidden-layer hot path collapses from two recorded nodes (and two
+// backward dispatches) into one. The arithmetic — forward and backward —
+// is identical to Apply followed by Tape.LeakyReLU. alpha must be > 0:
+// the fused backward infers the pre-activation sign from the
+// post-activation value, which a zero or negative slope would destroy.
+func (l *Linear) applyLeaky(t *Tape, x *Node, alpha float64) *Node {
+	out := t.alloc(l.Out)
+	l.affineInto(out.Data, x.Data)
+	leakyReLUInPlace(out.Data, alpha)
+	out.op, out.a, out.lin, out.c = opAffineLReLU, x, l, alpha
+	return out
+}
+
+// backprop accumulates the affine op's gradients: weight and bias
+// gradients into the layer's buffers, input gradients into x. For the
+// fused affine+LeakyReLU op, fused is the output node: its post-activation
+// sign recovers the pre-activation sign (alpha > 0 preserves it), and its
+// c field holds the negative slope.
+func (l *Linear) backprop(outGrad []float64, x *Node, fused *Node) {
+	for o := 0; o < l.Out; o++ {
+		g := outGrad[o]
+		if fused != nil && fused.Data[o] < 0 {
+			g *= fused.c
+		}
+		if g == 0 {
+			continue
+		}
+		row := l.W[o*l.In : (o+1)*l.In]
+		grow := l.GW[o*l.In : (o+1)*l.In]
+		for i, xi := range x.Data {
+			grow[i] += g * xi
+			x.Grad[i] += g * row[i]
+		}
+		l.GB[o] += g
+	}
+}
+
+// GradShadow returns a layer sharing this layer's weight and bias slices
+// but owning fresh zeroed gradient buffers. Data-parallel training gives
+// each batch slot a shadow so concurrent backward passes never write the
+// same accumulator.
+func (l *Linear) GradShadow() *Linear {
+	return &Linear{
+		In: l.In, Out: l.Out,
+		W: l.W, B: l.B,
+		GW: make([]float64, len(l.GW)),
+		GB: make([]float64, len(l.GB)),
+	}
 }
 
 // Params returns the parameter and gradient slices of the layer, in
@@ -111,16 +153,34 @@ func NewMLP(rng *rand.Rand, sizes ...int) *MLP {
 	return m
 }
 
-// Apply records the MLP forward pass on the tape.
+// Apply records the MLP forward pass on the tape. Hidden layers record
+// the fused affine+LeakyReLU op; the final layer stays linear. The fused
+// backward recovers the pre-activation sign from the post-activation
+// value, which requires Alpha > 0 — degenerate slopes (a plain-ReLU
+// Alpha of 0 loaded from an artifact) take the unfused ops instead.
 func (m *MLP) Apply(t *Tape, x *Node) *Node {
 	h := x
 	for i, l := range m.Layers {
-		h = l.Apply(t, h)
-		if i+1 < len(m.Layers) {
-			h = t.LeakyReLU(h, m.Alpha)
+		switch {
+		case i+1 == len(m.Layers):
+			h = l.Apply(t, h)
+		case m.Alpha > 0:
+			h = l.applyLeaky(t, h, m.Alpha)
+		default:
+			h = t.LeakyReLU(l.Apply(t, h), m.Alpha)
 		}
 	}
 	return h
+}
+
+// GradShadow returns an MLP sharing this MLP's weights but owning private
+// zeroed gradient buffers (see Linear.GradShadow).
+func (m *MLP) GradShadow() *MLP {
+	s := &MLP{Alpha: m.Alpha, Layers: make([]*Linear, len(m.Layers))}
+	for i, l := range m.Layers {
+		s.Layers[i] = l.GradShadow()
+	}
+	return s
 }
 
 // Infer runs the MLP forward pass without a tape: no gradient buffers or

@@ -42,13 +42,13 @@ func TestLinearGradCheck(t *testing.T) {
 	out := l.Apply(tape, in)
 	w := tape.Const([]float64{1, 2, 3})
 	// Build scalar sum_i w_i*out_i manually.
-	prod := tape.node(
-		[]float64{out.Data[0]*1 + out.Data[1]*2 + out.Data[2]*3}, nil)
-	prod.back = func() {
-		for i := range out.Data {
-			out.Grad[i] += prod.Grad[0] * w.Data[i]
-		}
-	}
+	var prod *Node
+	prod = tape.customOp(
+		[]float64{out.Data[0]*1 + out.Data[1]*2 + out.Data[2]*3}, func() {
+			for i := range out.Data {
+				out.Grad[i] += prod.Grad[0] * w.Data[i]
+			}
+		})
 	tape.Backward(prod)
 
 	for i := 0; i < len(l.W); i += 3 {
@@ -154,14 +154,14 @@ func TestGraphOpsGradCheck(t *testing.T) {
 	cc := tape.Concat(s, sc)
 	sg := tape.Sigmoid(cc)
 	r := tape.LeakyReLU(sg, 0.01)
-	outNode := tape.node([]float64{0}, nil)
-	for i, v := range r.Data {
-		outNode.Data[0] += float64(i+1) * v
-	}
-	outNode.back = func() {
+	var outNode *Node
+	outNode = tape.customOp([]float64{0}, func() {
 		for i := range r.Data {
 			r.Grad[i] += outNode.Grad[0] * float64(i+1)
 		}
+	})
+	for i, v := range r.Data {
+		outNode.Data[0] += float64(i+1) * v
 	}
 	tape.Backward(outNode)
 

@@ -17,11 +17,11 @@ func TestScaleGradCheck(t *testing.T) {
 	tape := NewTape()
 	n := tape.Const(a)
 	s := tape.Scale(n, 3)
-	out := tape.node([]float64{s.Data[0] + 2*s.Data[1]}, nil)
-	out.back = func() {
+	var out *Node
+	out = tape.customOp([]float64{s.Data[0] + 2*s.Data[1]}, func() {
 		s.Grad[0] += out.Grad[0]
 		s.Grad[1] += 2 * out.Grad[0]
-	}
+	})
 	tape.Backward(out)
 	const h = 1e-6
 	for i := range a {
@@ -43,11 +43,11 @@ func TestAddGradFlowsToBothInputs(t *testing.T) {
 	a := tape.Const([]float64{1, 2})
 	b := tape.Const([]float64{3, 4})
 	sum := tape.Add(a, b)
-	out := tape.node([]float64{sum.Data[0] + sum.Data[1]}, nil)
-	out.back = func() {
+	var out *Node
+	out = tape.customOp([]float64{sum.Data[0] + sum.Data[1]}, func() {
 		sum.Grad[0] += out.Grad[0]
 		sum.Grad[1] += out.Grad[0]
-	}
+	})
 	tape.Backward(out)
 	for i := 0; i < 2; i++ {
 		if a.Grad[i] != 1 || b.Grad[i] != 1 {

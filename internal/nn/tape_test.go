@@ -1,0 +1,178 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFusedAffineMatchesUnfused pins MLP.Apply's fused affine+LeakyReLU
+// op to the explicit Linear.Apply + Tape.LeakyReLU composition: identical
+// forward values and identical gradients.
+func TestFusedAffineMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewMLP(rng, 4, 6, 1)
+	x := []float64{0.4, -1.2, 0.7, 2.3}
+
+	m.ZeroGrad()
+	tf := NewTape()
+	fused := m.Apply(tf, tf.Const(x))
+	tf.Backward(MSLELoss(tf, fused, 5))
+	_, grads := m.Params()
+	fusedGrads := make([][]float64, len(grads))
+	for k, g := range grads {
+		fusedGrads[k] = append([]float64(nil), g...)
+	}
+
+	m.ZeroGrad()
+	tu := NewTape()
+	h := tu.Const(x)
+	for i, l := range m.Layers {
+		h = l.Apply(tu, h)
+		if i+1 < len(m.Layers) {
+			h = tu.LeakyReLU(h, m.Alpha)
+		}
+	}
+	if h.Data[0] != fused.Data[0] {
+		t.Fatalf("fused forward %v != unfused %v", fused.Data[0], h.Data[0])
+	}
+	tu.Backward(MSLELoss(tu, h, 5))
+	for k, g := range grads {
+		for i := range g {
+			if g[i] != fusedGrads[k][i] {
+				t.Fatalf("grad %d[%d]: fused %v != unfused %v", k, i, fusedGrads[k][i], g[i])
+			}
+		}
+	}
+}
+
+// TestZeroAlphaMLPFallsBackToUnfused: with a plain-ReLU slope (Alpha=0,
+// possible in artifacts), the fused op cannot recover the pre-activation
+// sign from the post-activation value, so Apply must take the unfused
+// path — gradients for a negative pre-activation must be exactly 0.
+func TestZeroAlphaMLPFallsBackToUnfused(t *testing.T) {
+	m := &MLP{Alpha: 0, Layers: []*Linear{
+		{In: 1, Out: 1, W: []float64{1}, B: []float64{-2}, GW: make([]float64, 1), GB: make([]float64, 1)},
+		{In: 1, Out: 1, W: []float64{1}, B: []float64{0}, GW: make([]float64, 1), GB: make([]float64, 1)},
+	}}
+	x := []float64{1} // pre-activation 1*1-2 = -1 < 0 -> ReLU output 0
+	tape := NewTape()
+	out := m.Apply(tape, tape.Const(x))
+	if out.Data[0] != 0 {
+		t.Fatalf("forward = %v, want 0", out.Data[0])
+	}
+	tape.Backward(MSLELoss(tape, out, 10))
+	if g := m.Layers[0].GW[0]; g != 0 {
+		t.Errorf("hidden-layer grad through dead ReLU = %v, want 0", g)
+	}
+	if g := m.Layers[1].GW[0]; g != 0 {
+		// d(out)/dW2 = relu(h) = 0, so this must also be exactly 0.
+		t.Errorf("output-layer weight grad = %v, want 0", g)
+	}
+}
+
+// TestConcat2MatchesConcat pins the two-input fast path to the variadic op.
+func TestConcat2MatchesConcat(t *testing.T) {
+	tape := NewTape()
+	a := tape.Const([]float64{1, 2})
+	b := tape.Const([]float64{3})
+	c1 := tape.Concat(a, b)
+	c2 := tape.Concat2(a, b)
+	for i := range c1.Data {
+		if c1.Data[i] != c2.Data[i] {
+			t.Fatalf("Concat2 = %v, Concat = %v", c2.Data, c1.Data)
+		}
+	}
+}
+
+// TestInferenceTapeSkipsGradAndRejectsBackward covers the gradient-free
+// tape mode.
+func TestInferenceTapeSkipsGradAndRejectsBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := NewMLP(rng, 3, 5, 1)
+	x := []float64{0.1, -0.5, 0.9}
+
+	it := NewInferenceTape()
+	out := m.Apply(it, it.Const(x))
+	tt := NewTape()
+	want := m.Apply(tt, tt.Const(x))
+	if out.Data[0] != want.Data[0] {
+		t.Fatalf("inference forward %v != training forward %v", out.Data[0], want.Data[0])
+	}
+	if out.Grad != nil {
+		t.Fatal("inference tape allocated a gradient buffer")
+	}
+	l := MSLELoss(it, out, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Backward on inference tape must panic")
+		}
+	}()
+	it.Backward(l)
+}
+
+// TestTapeReuseGradsMatchFreshTape trains the reuse guarantee: backward
+// on a reused (Reset) tape accumulates exactly the gradients a fresh tape
+// would.
+func TestTapeReuseGradsMatchFreshTape(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := NewMLP(rng, 3, 8, 8, 1)
+	xs := [][]float64{{0.2, -0.3, 1.4}, {2.0, 0.1, -0.7}, {-1, -1, -1}}
+
+	fresh := func(x []float64) []float64 {
+		m.ZeroGrad()
+		tape := NewTape()
+		out := m.Apply(tape, tape.Const(x))
+		tape.Backward(MSLELoss(tape, out, 7))
+		_, grads := m.Params()
+		var flat []float64
+		for _, g := range grads {
+			flat = append(flat, g...)
+		}
+		return flat
+	}
+	want := make([][]float64, len(xs))
+	for i, x := range xs {
+		want[i] = fresh(x)
+	}
+
+	reused := NewTape()
+	for round := 0; round < 2; round++ {
+		for i, x := range xs {
+			m.ZeroGrad()
+			reused.Reset()
+			out := m.Apply(reused, reused.Const(x))
+			reused.Backward(MSLELoss(reused, out, 7))
+			_, grads := m.Params()
+			j := 0
+			for _, g := range grads {
+				for _, v := range g {
+					if v != want[i][j] {
+						t.Fatalf("round %d input %d: reused-tape grad[%d] = %v, want %v", round, i, j, v, want[i][j])
+					}
+					j++
+				}
+			}
+		}
+	}
+}
+
+// TestTapeSteadyStateAllocs pins the arena guarantee at the nn level: a
+// warmed tape records and backpropagates a full MLP forward+loss pass
+// with zero heap allocations.
+func TestTapeSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m := NewMLP(rng, 6, 16, 16, 1)
+	x := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	tape := NewTape()
+	step := func() {
+		tape.Reset()
+		out := m.Apply(tape, tape.Const(x))
+		tape.Backward(MSLELoss(tape, out, 3))
+	}
+	for i := 0; i < 3; i++ {
+		step() // warm the arena
+	}
+	if avg := testing.AllocsPerRun(100, step); avg > 0 {
+		t.Errorf("steady-state allocs per pass = %v, want 0", avg)
+	}
+}
