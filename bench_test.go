@@ -129,6 +129,19 @@ func BenchmarkExp2bOnlineMonitoring(b *testing.B) {
 	})
 }
 
+// BenchmarkExp2cSearchStrategies extends Exp 2 with the placement search
+// engine: random / exhaustive / beam / local-search over the learned cost
+// model under one shared candidate budget on 8-14 host clusters.
+func BenchmarkExp2cSearchStrategies(b *testing.B) {
+	runExperiment(b, func(s *experiments.Suite) (*experiments.Table, error) {
+		r, err := s.Exp2cSearchStrategies()
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	})
+}
+
 // BenchmarkExp3Interpolation reproduces Table IV: unseen in-range hardware.
 func BenchmarkExp3Interpolation(b *testing.B) {
 	runExperiment(b, func(s *experiments.Suite) (*experiments.Table, error) {

@@ -1,14 +1,16 @@
 // Command costream-optimize demonstrates the full placement workflow on a
 // randomly drawn IoT scenario: it obtains a COSTREAM model (loading a
 // saved artifact, or training a small one from scratch), draws a query
-// and an edge-cloud cluster, enumerates heuristic placement candidates,
-// picks the best by predicted cost, and verifies the decision by
-// executing initial vs optimized placement in the simulator.
+// and an edge-cloud cluster, runs every placement search strategy under
+// one shared candidate budget (printing a comparison table), and verifies
+// the chosen strategy's decision by executing initial vs optimized
+// placement in the simulator.
 //
 // Usage:
 //
-//	costream-optimize -seed 7 -traces 800 -candidates 16
-//	costream-optimize -model model.json.gz -candidates 16     # reuse a saved model
+//	costream-optimize -seed 7 -traces 800 -budget 64
+//	costream-optimize -model model.json.gz -strategy beam -beam 8
+//	costream-optimize -model model.json.gz -strategy exhaustive -budget 512
 package main
 
 import (
@@ -27,13 +29,30 @@ func main() {
 	var (
 		seed       = flag.Int64("seed", 7, "random seed for query/cluster/model")
 		traces     = flag.Int("traces", 800, "training corpus size")
-		candidates = flag.Int("candidates", 16, "placement candidates to enumerate")
+		candidates = flag.Int("candidates", 16, "search budget: max distinct placements scored")
+		budget     = flag.Int("budget", 0, "alias for -candidates (takes precedence when set)")
+		rounds     = flag.Int("rounds", 0, "max generate->score->prune rounds (0 = unlimited)")
+		strategy   = flag.String("strategy", "local-search", "search strategy for the final decision: random | exhaustive | beam | local-search")
+		beamWidth  = flag.Int("beam", 8, "beam width for the beam strategy")
 		epochs     = flag.Int("epochs", 25, "training epochs")
 		workers    = flag.Int("workers", 0, "concurrent candidate-scoring workers (0 = GOMAXPROCS)")
 		modelPath  = flag.String("model", "", "load a saved model artifact instead of training")
 		saveModel  = flag.String("save-model", "", "save the trained model as an artifact for reuse")
 	)
 	flag.Parse()
+	if *budget > 0 {
+		*candidates = *budget
+	}
+	if *candidates <= 0 {
+		log.Fatal("search budget must be positive (use -budget or -candidates)")
+	}
+	if s, err := costream.ParseSearchStrategy(*strategy); err != nil {
+		log.Fatal(err)
+	} else {
+		// Normalize aliases ("local", "hill-climb", ...) to the
+		// canonical name the comparison loop selects by.
+		*strategy = s.Name()
+	}
 
 	var model *costream.Model
 	if *modelPath != "" {
@@ -86,12 +105,51 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	best, predicted, err := model.OptimizePlacementWith(q, cluster, *candidates, costream.MinProcLatency, *seed+3, *workers)
-	if err != nil {
-		log.Fatal(err)
+
+	// Run every strategy under the same budget and seed; the comparison
+	// table shows what the search engine buys over blind sampling.
+	searchBudget := costream.SearchBudget{MaxCandidates: *candidates, MaxRounds: *rounds}
+	newStrategy := func(name string) costream.SearchStrategy {
+		if name == "beam" {
+			return costream.BeamStrategy{Width: *beamWidth}
+		}
+		s, err := costream.ParseSearchStrategy(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
 	}
+	fmt.Printf("\nsearch strategies under a shared budget of %d candidates (objective: %v):\n",
+		*candidates, costream.MinProcLatency)
+	fmt.Printf("  %-13s %12s %9s %7s %9s %10s\n",
+		"strategy", "pred Lp(ms)", "examined", "rounds", "filtered", "time")
+	var chosen *costream.SearchResult
+	for _, name := range costream.SearchStrategyNames() {
+		t0 := time.Now()
+		res, err := model.OptimizePlacementSearch(q, cluster, newStrategy(name),
+			costream.MinProcLatency, searchBudget, *seed+3, *workers)
+		if err != nil {
+			fmt.Printf("  %-13s failed: %v\n", name, err)
+			continue
+		}
+		note := ""
+		if res.Complete {
+			note = "  (complete)"
+		}
+		fmt.Printf("  %-13s %12.1f %9d %7d %9d %10v%s\n",
+			name, res.Costs.ProcLatencyMS, res.Examined, res.Rounds, res.Filtered,
+			time.Since(t0).Round(time.Millisecond), note)
+		if name == *strategy {
+			chosen = res
+		}
+	}
+	if chosen == nil {
+		log.Fatalf("strategy %q produced no result", *strategy)
+	}
+
+	best, predicted := chosen.Placement, chosen.Costs
 	fmt.Printf("\nheuristic initial placement: %v\n", initial)
-	fmt.Printf("optimized placement:         %v\n", best)
+	fmt.Printf("optimized placement (%s):    %v\n", chosen.Strategy, best)
 	fmt.Printf("predicted costs: Lp=%.1fms Le=%.1fms T=%.1f ev/s success=%v backpressure=%v\n",
 		predicted.ProcLatencyMS, predicted.E2ELatencyMS, predicted.ThroughputTPS,
 		predicted.Success, predicted.Backpressured)

@@ -115,6 +115,40 @@ type (
 	Objective = placement.Objective
 )
 
+// Re-exported placement search engine types (Section V). A SearchStrategy
+// streams candidate placements into a shared budgeted search core that
+// scores them with the cost model; see Model.OptimizePlacementSearch.
+type (
+	// SearchStrategy is a pluggable placement search algorithm.
+	SearchStrategy = placement.Strategy
+	// SearchBudget bounds the candidates scored and rounds run by one
+	// search; budgets are directly comparable across strategies.
+	SearchBudget = placement.Budget
+	// SearchResult is the outcome of one placement search.
+	SearchResult = placement.SearchResult
+
+	// RandomSampleStrategy scores a random sample of valid placements
+	// (the paper's baseline; default).
+	RandomSampleStrategy = placement.RandomSample
+	// ExhaustiveStrategy enumerates the whole valid-placement space with
+	// pruning, capped by the budget.
+	ExhaustiveStrategy = placement.Exhaustive
+	// BeamStrategy builds placements operator by operator, keeping the
+	// best partial placements per step.
+	BeamStrategy = placement.Beam
+	// LocalSearchStrategy hill-climbs over operator moves and swaps.
+	LocalSearchStrategy = placement.LocalSearch
+)
+
+// ParseSearchStrategy resolves a strategy name ("random", "exhaustive",
+// "beam", "local-search") to its default-configured implementation.
+func ParseSearchStrategy(name string) (SearchStrategy, error) {
+	return placement.ParseStrategy(name)
+}
+
+// SearchStrategyNames lists the built-in placement search strategies.
+func SearchStrategyNames() []string { return placement.StrategyNames() }
+
 // Re-exported optimization objectives.
 const (
 	MinProcLatency = placement.MinProcLatency
@@ -262,31 +296,44 @@ func (m *Model) PredictCostsBatch(q *Query, c *Cluster, candidates []Placement) 
 	return m.pred.PredictBatch(q, c, candidates)
 }
 
-// OptimizePlacement enumerates k heuristic placement candidates
+// OptimizePlacement samples k heuristic placement candidates
 // (co-location allowed, increasing capability bins, acyclic — Figure 5),
 // filters out candidates predicted to fail or backpressure, and returns
 // the one optimizing the objective together with its predicted costs.
 // Candidates are scored in batches by a worker pool sized to GOMAXPROCS;
-// use OptimizePlacementWith to bound it explicitly.
+// use OptimizePlacementWith to bound it explicitly, or
+// OptimizePlacementSearch to run a real search strategy instead of the
+// random sample.
 func (m *Model) OptimizePlacement(q *Query, c *Cluster, k int, obj Objective, seed int64) (Placement, Costs, error) {
 	return m.OptimizePlacementWith(q, c, k, obj, seed, 0)
 }
 
 // OptimizePlacementWith is OptimizePlacement with an explicit bound on
 // the number of concurrent scoring workers (<= 0 selects GOMAXPROCS).
-// The chosen placement is independent of the worker count.
+// The chosen placement is independent of the worker count. It is the
+// RandomSample strategy under a k-candidate budget.
 func (m *Model) OptimizePlacementWith(q *Query, c *Cluster, k int, obj Objective, seed int64, workers int) (Placement, Costs, error) {
-	rng := rand.New(rand.NewSource(seed))
-	cands := placement.Enumerate(rng, q, c, k)
-	if len(cands) == 0 {
-		return nil, Costs{}, fmt.Errorf("costream: no valid placement candidates for %d operators on %d hosts",
-			q.NumOps(), c.NumHosts())
-	}
-	res, err := placement.OptimizeOpts(m.pred, q, c, cands, obj, placement.Options{Workers: workers})
+	res, err := m.OptimizePlacementSearch(q, c, RandomSampleStrategy{}, obj,
+		SearchBudget{MaxCandidates: k}, seed, workers)
 	if err != nil {
 		return nil, Costs{}, err
 	}
 	return res.Placement, res.Costs, nil
+}
+
+// OptimizePlacementSearch runs a cost-guided placement search: the
+// strategy streams candidate placements (generate -> score -> prune in
+// rounds) into a budgeted search core that scores them with the model's
+// batched predictor and returns the best under the objective. A nil
+// strategy selects RandomSampleStrategy. The result is deterministic for
+// a fixed seed and any worker count (<= 0 selects GOMAXPROCS).
+func (m *Model) OptimizePlacementSearch(q *Query, c *Cluster, strat SearchStrategy, obj Objective, budget SearchBudget, seed int64, workers int) (*SearchResult, error) {
+	res, err := placement.Search(m.pred, q, c, strat, obj, budget,
+		placement.SearchOptions{Seed: seed, Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("costream: %w", err)
+	}
+	return res, nil
 }
 
 // HeuristicPlacement returns a placement drawn by the plain IoT heuristic

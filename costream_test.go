@@ -1,6 +1,7 @@
 package costream
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 )
@@ -127,5 +128,56 @@ func TestGenerateCorpus(t *testing.T) {
 	}
 	if c.Len() != 30 {
 		t.Fatalf("corpus size %d, want 30", c.Len())
+	}
+}
+
+func TestOptimizePlacementSearch(t *testing.T) {
+	_, model := facade(t)
+	q := exampleQuery(t)
+	c := exampleCluster()
+	budget := SearchBudget{MaxCandidates: 16}
+	for _, name := range SearchStrategyNames() {
+		strat, err := ParseSearchStrategy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := model.OptimizePlacementSearch(q, c, strat, MinProcLatency, budget, 3, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Strategy != name {
+			t.Errorf("result strategy %q, want %q", res.Strategy, name)
+		}
+		if err := res.Placement.Validate(q, c); err != nil {
+			t.Errorf("%s: invalid placement: %v", name, err)
+		}
+		if res.Examined <= 0 || res.Examined > budget.MaxCandidates {
+			t.Errorf("%s: examined %d outside (0, %d]", name, res.Examined, budget.MaxCandidates)
+		}
+	}
+	if _, err := ParseSearchStrategy("definitely-not-a-strategy"); err == nil {
+		t.Error("unknown strategy name accepted")
+	}
+}
+
+// TestOptimizePlacementWithIsRandomSearch pins the compatibility bridge:
+// the legacy OptimizePlacementWith facade is the RandomSample strategy
+// under a k-candidate budget.
+func TestOptimizePlacementWithIsRandomSearch(t *testing.T) {
+	_, model := facade(t)
+	q := exampleQuery(t)
+	c := exampleCluster()
+	p, costs, err := model.OptimizePlacementWith(q, c, 12, MinProcLatency, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := model.OptimizePlacementSearch(q, c, RandomSampleStrategy{}, MinProcLatency,
+		SearchBudget{MaxCandidates: 12}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(p) != fmt.Sprint(res.Placement) || costs != res.Costs {
+		t.Errorf("OptimizePlacementWith (%v, %+v) != RandomSample search (%v, %+v)",
+			p, costs, res.Placement, res.Costs)
 	}
 }

@@ -1,9 +1,10 @@
 // Placement optimization on an IoT scenario (the paper's headline use
 // case, Figure 4): a 2-way windowed join over two sensor streams must be
-// placed on a heterogeneous edge-fog-cloud landscape. COSTREAM enumerates
-// heuristic candidates, predicts their costs, filters out candidates
-// predicted to fail or backpressure, and picks the fastest — then the
-// choice is verified against the plain heuristic initial placement.
+// placed on a heterogeneous edge-fog-cloud landscape. COSTREAM runs a
+// beam search over rule-conforming placements, predicts candidate costs,
+// filters out candidates predicted to fail or backpressure, and picks the
+// fastest — then the choice is verified against the plain heuristic
+// initial placement.
 //
 // Run with: go run ./examples/placement
 package main
@@ -65,11 +66,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// COSTREAM: enumerate 24 candidates, pick the predicted-fastest sane one.
-	best, pred, err := model.OptimizePlacement(q, cluster, 24, costream.MinProcLatency, 6)
+	// COSTREAM: beam-search the placement space under a 24-candidate
+	// budget, pick the predicted-fastest sane placement.
+	res, err := model.OptimizePlacementSearch(q, cluster, costream.BeamStrategy{Width: 6},
+		costream.MinProcLatency, costream.SearchBudget{MaxCandidates: 24}, 6, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
+	best, pred := res.Placement, res.Costs
+	fmt.Printf("beam search examined %d placements in %d rounds\n", res.Examined, res.Rounds)
 
 	name := func(p costream.Placement) []string {
 		out := make([]string, len(p))

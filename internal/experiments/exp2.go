@@ -215,6 +215,109 @@ func (s *Suite) Exp2bMonitoring() (*Exp2bResult, error) {
 	return res, nil
 }
 
+// SearchStrategyRow is one row of the Exp 2c search-strategy comparison:
+// for one strategy under the shared candidate budget, the median measured
+// Lp speed-up over the plain heuristic initial placement, the median
+// predicted Lp of the chosen placements, and the mean candidates scored.
+type SearchStrategyRow struct {
+	Strategy     string
+	N            int
+	MedSpeedup   float64
+	MedPredLp    float64
+	MeanExamined float64
+}
+
+// Exp2cResult extends Exp 2 beyond the paper: it compares the placement
+// search strategies (random sampling as in the paper, plus exhaustive,
+// beam and local search over the same learned cost model) under one
+// candidate budget on larger clusters, where blind sampling thins out.
+type Exp2cResult struct {
+	Budget int
+	Rows   []SearchStrategyRow
+}
+
+// Exp2cSearchStrategies runs every placement search strategy with the
+// COSTREAM predictor over a mixed-class query set on 8-14 host clusters
+// and reports per-strategy quality under a shared candidate budget.
+func (s *Suite) Exp2cSearchStrategies() (*Exp2cResult, error) {
+	coPred, err := s.Predictor()
+	if err != nil {
+		return nil, err
+	}
+	n := s.scaled(24, 4)
+	const budget = 48
+	wcfg := workload.DefaultConfig(7700)
+	wcfg.MinHosts, wcfg.MaxHosts = 8, 14
+	gen := workload.New(wcfg)
+	rng := rand.New(rand.NewSource(7701))
+	strategies := []placement.Strategy{
+		placement.RandomSample{},
+		placement.Exhaustive{},
+		placement.Beam{Width: 6},
+		placement.LocalSearch{},
+	}
+	simCfg := s.simConfig()
+	ratios := make([][]float64, len(strategies))
+	predLp := make([][]float64, len(strategies))
+	examined := make([]int, len(strategies))
+	counted := make([]int, len(strategies))
+	for i := 0; i < n; i++ {
+		q := gen.Query()
+		cluster := gen.Cluster()
+		initial, err := placement.HeuristicInitial(rng, q, cluster)
+		if err != nil {
+			continue
+		}
+		runCfg := simCfg
+		runCfg.Seed = int64(7800 + i)
+		initM, err := sim.Run(q, cluster, initial, runCfg)
+		if err != nil {
+			return nil, err
+		}
+		initLp := measuredLp(initM)
+		for si, strat := range strategies {
+			res, err := placement.Search(coPred, q, cluster, strat, placement.MinProcLatency,
+				placement.Budget{MaxCandidates: budget},
+				placement.SearchOptions{Seed: int64(7900 + i), Workers: s.Workers})
+			if err != nil {
+				continue
+			}
+			m, err := sim.Run(q, cluster, res.Placement, runCfg)
+			if err != nil {
+				return nil, err
+			}
+			ratios[si] = append(ratios[si], initLp/maxf(measuredLp(m), 1e-3))
+			predLp[si] = append(predLp[si], res.Costs.ProcLatencyMS)
+			examined[si] += res.Examined
+			counted[si]++
+		}
+	}
+	res := &Exp2cResult{Budget: budget}
+	for si, strat := range strategies {
+		row := SearchStrategyRow{Strategy: strat.Name(), N: counted[si]}
+		if counted[si] > 0 {
+			row.MedSpeedup = qerror.Quantile(ratios[si], 0.5)
+			row.MedPredLp = qerror.Quantile(predLp[si], 0.5)
+			row.MeanExamined = float64(examined[si]) / float64(counted[si])
+		}
+		res.Rows = append(res.Rows, row)
+		s.Logf("exp2c %s done (n=%d)", strat.Name(), counted[si])
+	}
+	return res, nil
+}
+
+// Table renders the strategy comparison as rows.
+func (r *Exp2cResult) Table() *Table {
+	t := &Table{Title: fmt.Sprintf(
+		"[Exp 2c] Placement search strategies on 8-14 host clusters (budget=%d candidates)", r.Budget)}
+	for _, row := range r.Rows {
+		t.Lines = append(t.Lines, fmt.Sprintf(
+			"%-13s median speed-up %6.2fx | median predicted Lp %8.1fms | mean examined %5.1f (n=%d)",
+			row.Strategy, row.MedSpeedup, row.MedPredLp, row.MeanExamined, row.N))
+	}
+	return t
+}
+
 // Table renders Figure 10 as rows.
 func (r *Exp2bResult) Table() *Table {
 	t := &Table{Title: "[Exp 2b / Figure 10] Online monitoring baseline vs COSTREAM initial placement"}

@@ -221,6 +221,33 @@ func TestExp2bShape(t *testing.T) {
 	r.Table().WriteText(&bytes.Buffer{})
 }
 
+func TestExp2cShape(t *testing.T) {
+	t.Parallel()
+	s := smokeSuite()
+	r, err := s.Exp2cSearchStrategies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("exp2c rows = %d, want 4 strategies", len(r.Rows))
+	}
+	if r.Budget <= 0 {
+		t.Errorf("budget %d", r.Budget)
+	}
+	for _, row := range r.Rows {
+		if row.N == 0 {
+			t.Errorf("%s: no searched queries", row.Strategy)
+		}
+		if row.MedSpeedup <= 0 || math.IsNaN(row.MedSpeedup) {
+			t.Errorf("%s: speed-up %v", row.Strategy, row.MedSpeedup)
+		}
+		if row.MeanExamined <= 0 || row.MeanExamined > float64(r.Budget) {
+			t.Errorf("%s: mean examined %v outside (0, %d]", row.Strategy, row.MeanExamined, r.Budget)
+		}
+	}
+	r.Table().WriteText(&bytes.Buffer{})
+}
+
 func TestExp3Shape(t *testing.T) {
 	t.Parallel()
 	s := smokeSuite()

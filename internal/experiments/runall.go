@@ -65,6 +65,13 @@ func (s *Suite) RunAll(w io.Writer) ([]*Table, error) {
 			}
 			return r.Table(), nil
 		}},
+		{"exp2c-search", func() (*Table, error) {
+			r, err := s.Exp2cSearchStrategies()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
 		{"exp3-interpolation", func() (*Table, error) {
 			r, err := s.Exp3Interpolation()
 			if err != nil {

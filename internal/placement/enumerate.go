@@ -1,11 +1,11 @@
 // Package placement solves the initial operator placement problem with
-// COSTREAM-style cost estimates (Section V of the paper): a heuristic
-// enumeration strategy generates candidate placements obeying the
+// COSTREAM-style cost estimates (Section V of the paper): a family of
+// search strategies generates candidate placements obeying the
 // IoT-scenario rules of Figure 5 (operator co-location allowed, increasing
 // computing capability along the data flow, acyclic placements), a
-// cost-model-driven optimizer selects the best candidate, and an online
-// monitoring baseline (after Aniello et al. [1]) provides the Exp 2b
-// comparison.
+// cost-model-driven budgeted search core selects the best candidate, and
+// an online monitoring baseline (after Aniello et al. [1]) provides the
+// Exp 2b comparison.
 package placement
 
 import (
@@ -17,132 +17,271 @@ import (
 	"costream/internal/stream"
 )
 
-// RandomValid draws one placement satisfying the three heuristic rules of
-// Figure 5:
+// generator is the shared candidate-generation substrate: the topological
+// order, capability bins and upstream adjacency of one (query, cluster)
+// pair plus reusable bitset scratch for the visited/banned host sets. One
+// generator serves an entire search run (thousands of draws, validity
+// checks and partial-placement expansions) without per-draw allocations;
+// it must not be shared across goroutines.
+type generator struct {
+	q      *stream.Query
+	c      *hardware.Cluster
+	bins   []hardware.Bin
+	caps   []float64 // CapabilityScore per host, for greedy completion
+	order  []int     // topological order of the data flow
+	ups    [][]int   // upstream operator indices, per operator
+	nHosts int
+
+	// visited[v] is the set of hosts op v's output has passed through
+	// (valid only for ops placed since the enclosing replay/draw).
+	visited []bitset
+	choices []int
+	scratch sim.Placement // draw scratch
+	comp    sim.Placement // completion scratch
+}
+
+func newGenerator(q *stream.Query, c *hardware.Cluster) (*generator, error) {
+	order, err := q.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := len(q.Ops)
+	g := &generator{
+		q:       q,
+		c:       c,
+		bins:    c.Bins(),
+		order:   order,
+		ups:     make([][]int, n),
+		nHosts:  len(c.Hosts),
+		visited: make([]bitset, n),
+		scratch: make(sim.Placement, n),
+		comp:    make(sim.Placement, n),
+	}
+	for i := 0; i < n; i++ {
+		g.ups[i] = q.Upstream(i)
+		g.visited[i] = newBitset(len(c.Hosts))
+	}
+	g.caps = make([]float64, len(c.Hosts))
+	for h, host := range c.Hosts {
+		g.caps[h] = host.CapabilityScore()
+	}
+	return g, nil
+}
+
+// choicesFor fills g.choices with the hosts operator v may be placed on,
+// in increasing host order, given that every upstream of v is placed in p
+// and has a current g.visited set. The three Figure 5 rules:
 //
 //  1. co-location of multiple operators on one host is allowed,
 //  2. along the data flow, host capability bins never decrease,
 //  3. once the data flow leaves a host, it never returns to it.
 //
-// It retries on dead ends and reports an error when the cluster cannot
-// satisfy the rules for this query.
+// The revisit rule is applied per upstream, exactly as Valid checks it:
+// staying on an immediate upstream's host is fine for that branch
+// (the flow never left it), but a host any *other* inbound branch has
+// already left is banned even when one branch still sits on it. The
+// original map-based draw code exempted such hosts globally and could
+// emit placements Valid rejects on fan-in (join) operators.
+func (g *generator) choicesFor(p sim.Placement, v int) []int {
+	minBin := hardware.BinEdge
+	for _, u := range g.ups[v] {
+		if b := g.bins[p[u]]; b > minBin {
+			minBin = b
+		}
+	}
+	g.choices = g.choices[:0]
+	for h := 0; h < g.nHosts; h++ {
+		if g.bins[h] < minBin {
+			continue
+		}
+		ok := true
+		for _, u := range g.ups[v] {
+			if p[u] != h && g.visited[u].has(h) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			g.choices = append(g.choices, h)
+		}
+	}
+	return g.choices
+}
+
+// place assigns host h to operator v and refreshes v's visited set from
+// its upstreams (which must be current).
+func (g *generator) place(p sim.Placement, v, h int) {
+	p[v] = h
+	vis := g.visited[v]
+	vis.clear()
+	vis.set(h)
+	for _, u := range g.ups[v] {
+		vis.orWith(g.visited[u])
+	}
+}
+
+// replay refreshes the visited scratch for the placement prefix covering
+// the first d topological positions of p.
+func (g *generator) replay(p sim.Placement, d int) {
+	for t := 0; t < d; t++ {
+		v := g.order[t]
+		g.place(p, v, p[v])
+	}
+}
+
+// tryDraw attempts one random placement draw. The returned slice is
+// generator scratch: copy before retaining. The host-choice scan order and
+// rng consumption are identical to the original map-based implementation,
+// so draws are bit-for-bit reproducible against it for any seed.
+func (g *generator) tryDraw(rng *rand.Rand) (sim.Placement, bool) {
+	p := g.scratch
+	for i := range p {
+		p[i] = -1
+	}
+	for _, v := range g.order {
+		choices := g.choicesFor(p, v)
+		if len(choices) == 0 {
+			return nil, false
+		}
+		g.place(p, v, choices[rng.Intn(len(choices))])
+	}
+	return p, true
+}
+
+// randomValidAttempts bounds the dead-end retries of one random draw.
+const randomValidAttempts = 64
+
+// randomValid draws one valid placement, retrying dead ends. The returned
+// slice is generator scratch: copy before retaining.
+func (g *generator) randomValid(rng *rand.Rand) (sim.Placement, bool) {
+	for a := 0; a < randomValidAttempts; a++ {
+		if p, ok := g.tryDraw(rng); ok {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// validate reports whether p satisfies the Figure 5 rules.
+func (g *generator) validate(p sim.Placement) bool {
+	if p.Validate(g.q, g.c) != nil {
+		return false
+	}
+	for _, v := range g.order {
+		h := p[v]
+		for _, u := range g.ups[v] {
+			if g.bins[p[u]] > g.bins[h] {
+				return false // capability decreased along the flow
+			}
+			if p[u] != h && g.visited[u].has(h) {
+				return false // returned to a previously visited host
+			}
+		}
+		g.place(p, v, h)
+	}
+	return true
+}
+
+// completeGreedy extends the placement prefix covering the first d
+// topological positions of p into a full valid placement: each remaining
+// operator stays on its most capable immediate-upstream host (co-location,
+// zero network cost), and operators without upstreams (later sources) take
+// the most capable valid host. The input is not modified; the result is
+// freshly allocated. Completion fails only when the prefix has painted the
+// remaining flow into a corner (every admissible host already visited).
+func (g *generator) completeGreedy(p sim.Placement, d int) (sim.Placement, bool) {
+	copy(g.comp, p)
+	g.replay(g.comp, d)
+	for t := d; t < len(g.order); t++ {
+		v := g.order[t]
+		choices := g.choicesFor(g.comp, v)
+		if len(choices) == 0 {
+			return nil, false
+		}
+		g.place(g.comp, v, g.greedyPick(g.comp, v, choices))
+	}
+	return append(sim.Placement(nil), g.comp...), true
+}
+
+// greedyPick selects the completion host for v: the most capable
+// immediate-upstream host still admissible (co-location), else the most
+// capable valid choice. Ties break toward the lower host index, keeping
+// completion fully deterministic.
+func (g *generator) greedyPick(p sim.Placement, v int, choices []int) int {
+	best := -1
+	for _, u := range g.ups[v] {
+		h := p[u]
+		if best < 0 || g.caps[h] > g.caps[best] || (g.caps[h] == g.caps[best] && h < best) {
+			best = h
+		}
+	}
+	if best >= 0 {
+		for _, h := range choices {
+			if h == best {
+				return h
+			}
+		}
+	}
+	best = choices[0]
+	for _, h := range choices[1:] {
+		if g.caps[h] > g.caps[best] {
+			best = h
+		}
+	}
+	return best
+}
+
+// RandomValid draws one placement satisfying the three heuristic rules of
+// Figure 5 (see generator.choicesFor). It retries on dead ends and reports
+// an error when the cluster cannot satisfy the rules for this query.
 func RandomValid(rng *rand.Rand, q *stream.Query, c *hardware.Cluster) (sim.Placement, error) {
-	const attempts = 64
-	bins := c.Bins()
-	order, err := q.TopoOrder()
+	g, err := newGenerator(q, c)
 	if err != nil {
 		return nil, err
 	}
-	for a := 0; a < attempts; a++ {
-		p, ok := tryPlacement(rng, q, c, bins, order)
-		if ok {
-			return p, nil
-		}
+	if p, ok := g.randomValid(rng); ok {
+		return append(sim.Placement(nil), p...), nil
 	}
 	return nil, fmt.Errorf("placement: no valid placement found for %d ops on %d hosts",
 		len(q.Ops), len(c.Hosts))
 }
 
-func tryPlacement(rng *rand.Rand, q *stream.Query, c *hardware.Cluster, bins []hardware.Bin, order []int) (sim.Placement, bool) {
-	n := len(q.Ops)
-	p := make(sim.Placement, n)
-	for i := range p {
-		p[i] = -1
-	}
-	// visited[i] is the set of hosts the data of op i's output has passed
-	// through, for the acyclicity rule.
-	visited := make([]map[int]bool, n)
-	for _, v := range order {
-		ups := q.Upstream(v)
-		minBin := hardware.BinEdge
-		banned := map[int]bool{}
-		allowedSame := map[int]bool{}
-		for _, u := range ups {
-			h := p[u]
-			if bins[h] > minBin {
-				minBin = bins[h]
-			}
-			allowedSame[h] = true
-			for hv := range visited[u] {
-				banned[hv] = true
-			}
-		}
-		var choices []int
-		for h := range c.Hosts {
-			if bins[h] < minBin {
-				continue
-			}
-			// Staying on an immediate upstream host is always fine
-			// (co-location); revisiting an earlier host is not.
-			if banned[h] && !allowedSame[h] {
-				continue
-			}
-			choices = append(choices, h)
-		}
-		if len(choices) == 0 {
-			return nil, false
-		}
-		h := choices[rng.Intn(len(choices))]
-		p[v] = h
-		vis := map[int]bool{h: true}
-		for _, u := range ups {
-			for hv := range visited[u] {
-				vis[hv] = true
-			}
-		}
-		visited[v] = vis
-	}
-	return p, true
-}
-
 // Valid reports whether a placement satisfies the Figure 5 rules.
 func Valid(q *stream.Query, c *hardware.Cluster, p sim.Placement) bool {
-	if p.Validate(q, c) != nil {
-		return false
-	}
-	bins := c.Bins()
-	order, err := q.TopoOrder()
+	g, err := newGenerator(q, c)
 	if err != nil {
 		return false
 	}
-	visited := make([]map[int]bool, len(q.Ops))
-	for _, v := range order {
-		h := p[v]
-		vis := map[int]bool{h: true}
-		for _, u := range q.Upstream(v) {
-			if bins[p[u]] > bins[h] {
-				return false // capability decreased along the flow
-			}
-			if p[u] != h && visited[u][h] {
-				return false // returned to a previously visited host
-			}
-			for hv := range visited[u] {
-				vis[hv] = true
-			}
-		}
-		visited[v] = vis
-	}
-	return true
+	return g.validate(p)
 }
 
 // Enumerate draws up to k distinct valid placement candidates. Fewer than
-// k are returned when the space is smaller or repeatedly sampled.
+// k are returned when the space is smaller or repeatedly sampled: both
+// duplicate draws and failed draws (no valid placement found within the
+// retry bound) consume the shared miss budget, so a cluster that only
+// rarely admits valid placements cannot stall enumeration.
 func Enumerate(rng *rand.Rand, q *stream.Query, c *hardware.Cluster, k int) []sim.Placement {
+	g, err := newGenerator(q, c)
+	if err != nil {
+		return nil
+	}
 	seen := make(map[string]bool, k)
+	var key []byte
 	var out []sim.Placement
 	misses := 0
 	for len(out) < k && misses < 8*k+64 {
-		p, err := RandomValid(rng, q, c)
-		if err != nil {
-			break
-		}
-		key := fmt.Sprint([]int(p))
-		if seen[key] {
+		p, ok := g.randomValid(rng)
+		if !ok {
 			misses++
 			continue
 		}
-		seen[key] = true
-		out = append(out, p)
+		key = appendPlacementKey(key[:0], p)
+		if seen[string(key)] {
+			misses++
+			continue
+		}
+		seen[string(key)] = true
+		out = append(out, append(sim.Placement(nil), p...))
 	}
 	return out
 }

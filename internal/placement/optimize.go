@@ -114,19 +114,20 @@ func Optimize(pred Predictor, q *stream.Query, c *hardware.Cluster, candidates [
 	return OptimizeOpts(pred, q, c, candidates, obj, Options{})
 }
 
-// OptimizeOpts is Optimize with explicit engine options. Candidates are
-// partitioned into contiguous chunks scored by a bounded pool of workers;
-// a predictor implementing BatchPredictor receives whole chunks so it can
-// featurize the shared query/cluster state once per chunk. Scores are
-// merged into a slice indexed by candidate, so the same seed and
-// candidate list yield the same Result regardless of Workers.
-func OptimizeOpts(pred Predictor, q *stream.Query, c *hardware.Cluster, candidates []sim.Placement, obj Objective, opts Options) (*Result, error) {
+// scoreCandidates scores every candidate with the predictor through a
+// bounded pool of workers. Candidates are partitioned into contiguous
+// chunks; a predictor implementing BatchPredictor receives whole chunks so
+// it can featurize the shared query/cluster state once per chunk. Results
+// are merged into slices indexed by candidate, so the output is identical
+// for every worker count. A failing PredictBatch chunk falls back to
+// per-candidate scoring to isolate the failing candidates.
+func scoreCandidates(pred Predictor, q *stream.Query, c *hardware.Cluster, candidates []sim.Placement, opts Options) ([]PredCosts, []error) {
 	n := len(candidates)
-	if n == 0 {
-		return nil, fmt.Errorf("placement: no candidates to optimize over")
-	}
 	costs := make([]PredCosts, n)
 	errs := make([]error, n)
+	if n == 0 {
+		return costs, errs
+	}
 	scoreChunk := func(lo, hi int) {
 		if bp, ok := pred.(BatchPredictor); ok {
 			out, err := bp.PredictBatch(q, c, candidates[lo:hi])
@@ -158,17 +159,33 @@ func OptimizeOpts(pred Predictor, q *stream.Query, c *hardware.Cluster, candidat
 		}
 		wg.Wait()
 	}
+	return costs, errs
+}
 
-	score := func(costs PredCosts) float64 {
-		switch obj {
-		case MaxThroughput:
-			return -costs.ThroughputTPS
-		case MinE2ELatency:
-			return costs.E2ELatencyMS
-		default:
-			return costs.ProcLatencyMS
-		}
+// objectiveScore maps predicted costs onto the objective's scalar score;
+// lower is better for every objective.
+func objectiveScore(obj Objective, costs PredCosts) float64 {
+	switch obj {
+	case MaxThroughput:
+		return -costs.ThroughputTPS
+	case MinE2ELatency:
+		return costs.E2ELatencyMS
+	default:
+		return costs.ProcLatencyMS
 	}
+}
+
+// OptimizeOpts is Optimize with explicit engine options. Candidate scores
+// are merged by candidate index, so the same candidate list yields the
+// same Result regardless of Workers.
+func OptimizeOpts(pred Predictor, q *stream.Query, c *hardware.Cluster, candidates []sim.Placement, obj Objective, opts Options) (*Result, error) {
+	n := len(candidates)
+	if n == 0 {
+		return nil, fmt.Errorf("placement: no candidates to optimize over")
+	}
+	costs, errs := scoreCandidates(pred, q, c, candidates, opts)
+
+	score := func(costs PredCosts) float64 { return objectiveScore(obj, costs) }
 	filtered, errored := 0, 0
 	var firstErr error
 	best, bestFallback := -1, -1

@@ -262,3 +262,111 @@ func TestObjectiveString(t *testing.T) {
 		t.Error("objective strings must be non-empty")
 	}
 }
+
+// TestValidSingleHostCluster: with one host everything co-locates; all
+// three rules hold trivially and the generator finds the placement.
+func TestValidSingleHostCluster(t *testing.T) {
+	q := testQuery()
+	c := &hardware.Cluster{Hosts: []*hardware.Host{
+		{ID: "only", CPU: 800, RAMMB: 32000, NetLatencyMS: 1, NetBandwidthMbps: 10000},
+	}}
+	if !Valid(q, c, sim.Placement{0, 0, 0, 0, 0}) {
+		t.Error("all-on-single-host placement rejected")
+	}
+	p, err := RandomValid(rand.New(rand.NewSource(1)), q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range p {
+		if h != 0 {
+			t.Fatalf("op %d placed on host %d in a single-host cluster", i, h)
+		}
+	}
+}
+
+// diamondQuery builds the fan-out/fan-in placement-graph shape: two source
+// branches (one with an intermediate filter) converging on a join.
+func diamondQuery() *stream.Query {
+	b := stream.NewBuilder()
+	s1 := b.AddSource(100, []stream.DataType{stream.TypeInt})
+	f1 := b.AddFilter(stream.FilterGT, stream.TypeInt, 0.5)
+	s2 := b.AddSource(100, []stream.DataType{stream.TypeInt})
+	j := b.AddJoin(stream.TypeInt, stream.Window{Type: stream.WindowTumbling, Policy: stream.WindowCountBased, Size: 10, Slide: 10}, 0.01)
+	k := b.AddSink()
+	b.Connect(s1, f1).Connect(f1, j).Connect(s2, j).Connect(j, k)
+	return b.MustBuild()
+}
+
+// TestValidDiamondRevisit pins the per-upstream acyclicity semantics on
+// fan-in: a join may co-locate with an upstream whose flow still sits on
+// the host, but not on a host another inbound branch has already left —
+// even if a different upstream currently occupies it.
+func TestValidDiamondRevisit(t *testing.T) {
+	q := diamondQuery() // ops: s1=0 f1=1 s2=2 j=3 k=4
+	c := &hardware.Cluster{Hosts: []*hardware.Host{
+		{ID: "fog-a", CPU: 400, RAMMB: 8000, NetLatencyMS: 10, NetBandwidthMbps: 800},
+		{ID: "fog-b", CPU: 400, RAMMB: 8000, NetLatencyMS: 10, NetBandwidthMbps: 800},
+		{ID: "fog-c", CPU: 400, RAMMB: 8000, NetLatencyMS: 10, NetBandwidthMbps: 800},
+	}}
+	// Branch s1->f1 leaves host 0; s2 sits on host 0. Joining on host 0
+	// returns s1's flow to a host it already left: invalid, even though
+	// the join would co-locate with its immediate upstream s2.
+	if Valid(q, c, sim.Placement{0, 1, 0, 0, 0}) {
+		t.Error("join revisiting a host one branch already left was accepted")
+	}
+	// Joining on f1's host is plain co-location for that branch and a
+	// first visit for s2's branch: valid.
+	if !Valid(q, c, sim.Placement{0, 1, 2, 1, 1}) {
+		t.Error("valid fan-in co-location rejected")
+	}
+	// Joining on a fresh host is always fine.
+	if !Valid(q, c, sim.Placement{0, 1, 0, 2, 2}) {
+		t.Error("fan-in onto a fresh host rejected")
+	}
+	// The generator must never emit placements Valid rejects (regression:
+	// the original draw code allowed the first case above).
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		p, err := RandomValid(rng, q, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Valid(q, c, p) {
+			t.Fatalf("draw %d: RandomValid produced invalid placement %v", i, p)
+		}
+	}
+}
+
+// TestValidCapabilityBinBoundaries: the monotonicity rule compares bins,
+// not raw capability. A strong edge host (more CPU than a weak fog host,
+// capability score just under the bin threshold) may feed the weak fog
+// host, but never the reverse; within one bin both directions are fine.
+func TestValidCapabilityBinBoundaries(t *testing.T) {
+	strongEdge := &hardware.Host{ID: "strong-edge", CPU: 400, RAMMB: 1000, NetLatencyMS: 40, NetBandwidthMbps: 100}
+	weakFog := &hardware.Host{ID: "weak-fog", CPU: 200, RAMMB: 8000, NetLatencyMS: 20, NetBandwidthMbps: 200}
+	weakFog2 := &hardware.Host{ID: "weak-fog-2", CPU: 200, RAMMB: 8000, NetLatencyMS: 20, NetBandwidthMbps: 200}
+	if got := hardware.Classify(strongEdge); got != hardware.BinEdge {
+		t.Fatalf("strong-edge classified as %v (score %.3f), want edge", got, strongEdge.CapabilityScore())
+	}
+	if got := hardware.Classify(weakFog); got != hardware.BinFog {
+		t.Fatalf("weak-fog classified as %v (score %.3f), want fog", got, weakFog.CapabilityScore())
+	}
+	b := stream.NewBuilder()
+	s := b.AddSource(100, []stream.DataType{stream.TypeInt})
+	f := b.AddFilter(stream.FilterGT, stream.TypeInt, 0.5)
+	k := b.AddSink()
+	b.Chain(s, f, k)
+	q := b.MustBuild()
+
+	c := &hardware.Cluster{Hosts: []*hardware.Host{strongEdge, weakFog, weakFog2}}
+	if !Valid(q, c, sim.Placement{0, 1, 1}) {
+		t.Error("edge -> fog transition rejected at the bin boundary")
+	}
+	if Valid(q, c, sim.Placement{1, 0, 0}) {
+		t.Error("fog -> edge transition accepted despite the bin decrease")
+	}
+	// Same bin both ways: capability within a bin may go "down".
+	if !Valid(q, c, sim.Placement{1, 2, 2}) || !Valid(q, c, sim.Placement{2, 1, 1}) {
+		t.Error("same-bin transitions must be allowed in both directions")
+	}
+}

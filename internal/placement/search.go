@@ -1,0 +1,383 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+
+	"costream/internal/hardware"
+	"costream/internal/sim"
+	"costream/internal/stream"
+)
+
+// Budget bounds the work of one placement search run. Every strategy is
+// driven by the same budgeted core, so budgets are directly comparable
+// across strategies: a Beam run with MaxCandidates 64 scores at most as
+// many placements as a RandomSample run with MaxCandidates 64.
+type Budget struct {
+	// MaxCandidates bounds the number of distinct placements scored by
+	// the predictor. Zero or negative selects DefaultMaxCandidates.
+	MaxCandidates int
+	// MaxRounds bounds the number of generate->score->prune rounds. Zero
+	// or negative means unlimited (the candidate budget still applies).
+	MaxRounds int
+}
+
+// DefaultMaxCandidates is the candidate budget when Budget leaves
+// MaxCandidates unset — the paper's k=16 sample size.
+const DefaultMaxCandidates = 16
+
+func (b Budget) withDefaults() Budget {
+	if b.MaxCandidates <= 0 {
+		b.MaxCandidates = DefaultMaxCandidates
+	}
+	return b
+}
+
+// SearchOptions tunes a search run.
+type SearchOptions struct {
+	// Workers bounds the concurrent scoring workers (zero or negative
+	// selects GOMAXPROCS). The chosen placement is independent of the
+	// worker count.
+	Workers int
+	// Seed drives every stochastic strategy decision (random draws,
+	// restart points, neighbor subsampling). A fixed seed yields an
+	// identical SearchResult for any Workers value.
+	Seed int64
+}
+
+// SearchResult is the outcome of a Search run.
+type SearchResult struct {
+	Placement sim.Placement
+	Costs     PredCosts
+	// Index is the ordinal of the chosen placement in the stream of
+	// scored candidates (0 = first candidate examined).
+	Index int
+	// Strategy is the name of the strategy that produced the result.
+	Strategy string
+	// Rounds is the number of generate->score->prune rounds executed.
+	Rounds int
+	// Examined is the number of distinct placements scored.
+	Examined int
+	// Filtered counts examined candidates removed before selection: by
+	// the sanity check (predicted failure or backpressure) or because
+	// their prediction errored. Errored is the error subset.
+	Filtered int
+	Errored  int
+	// Complete reports that the strategy provably covered the entire
+	// valid-placement space within the budget (only Exhaustive sets it).
+	Complete bool
+}
+
+// Scored is one scored candidate returned by Core.ScoreRound.
+type Scored struct {
+	Placement sim.Placement
+	Costs     PredCosts
+	// Err is the prediction error, if any.
+	Err error
+	// Score is the objective's scalar score (lower is better).
+	Score float64
+	// Sane reports the paper's sanity check: predicted success without
+	// backpressure.
+	Sane bool
+	// Skipped marks candidates dropped unscored because the budget was
+	// exhausted.
+	Skipped bool
+}
+
+// betterThan ranks scored candidates for pruning decisions: sane
+// candidates order by score, non-sane scored ones come after every sane
+// one, errored/skipped ones rank last. Ties are not better, so stable
+// selection loops keep the earlier candidate.
+func (s *Scored) betterThan(t *Scored) bool {
+	sc, tc := s.class(), t.class()
+	if sc != tc {
+		return sc < tc
+	}
+	if sc == 2 {
+		return false
+	}
+	return s.Score < t.Score
+}
+
+func (s *Scored) class() int {
+	switch {
+	case s.Skipped || s.Err != nil:
+		return 2
+	case s.Sane:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Strategy is a pluggable placement search algorithm. Implementations
+// stream candidate batches into the shared budgeted Core and are expected
+// to stop once the core is Exhausted. Run must be deterministic given the
+// core's rng state; it is invoked on a single goroutine (scoring
+// parallelism lives inside the core).
+type Strategy interface {
+	// Name is the stable identifier used by the CLI, the serve API and
+	// search results.
+	Name() string
+	// Run drives candidate generation against the core. It should return
+	// an error only when the search cannot produce any candidate at all.
+	Run(co *Core) error
+}
+
+// Core is the shared budgeted search core: it dedups streamed candidates
+// by a compact binary key, scores fresh ones through the batched worker
+// pool, tracks the best placement seen under the objective (with the
+// paper's sanity filter and deterministic lowest-index tie-breaks), and
+// enforces the candidate/round budget.
+type Core struct {
+	pred   Predictor
+	q      *stream.Query
+	c      *hardware.Cluster
+	obj    Objective
+	budget Budget
+	opts   Options
+	rng    *rand.Rand
+	gen    *generator
+
+	seen    map[string]int32 // placement key -> index into records
+	keyBuf  []byte
+	records []Scored
+
+	rounds   int
+	filtered int
+	errored  int
+	firstErr error
+
+	bestIdx     int
+	fallbackIdx int
+	complete    bool
+}
+
+func newCore(pred Predictor, q *stream.Query, c *hardware.Cluster, obj Objective, budget Budget, opts SearchOptions) (*Core, error) {
+	gen, err := newGenerator(q, c)
+	if err != nil {
+		return nil, err
+	}
+	budget = budget.withDefaults()
+	return &Core{
+		pred:        pred,
+		q:           q,
+		c:           c,
+		obj:         obj,
+		budget:      budget,
+		opts:        Options{Workers: opts.Workers},
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		gen:         gen,
+		seen:        make(map[string]int32, budget.MaxCandidates),
+		records:     make([]Scored, 0, budget.MaxCandidates),
+		bestIdx:     -1,
+		fallbackIdx: -1,
+	}, nil
+}
+
+// Query returns the query under placement.
+func (co *Core) Query() *stream.Query { return co.q }
+
+// Cluster returns the hardware landscape.
+func (co *Core) Cluster() *hardware.Cluster { return co.c }
+
+// Rng returns the seeded random source shared by the whole search run.
+func (co *Core) Rng() *rand.Rand { return co.rng }
+
+// TopoOrder returns the cached topological order of the query.
+func (co *Core) TopoOrder() []int { return co.gen.order }
+
+// Remaining returns how many more candidates the budget admits.
+func (co *Core) Remaining() int { return co.budget.MaxCandidates - len(co.records) }
+
+// Examined returns the number of distinct candidates scored so far.
+func (co *Core) Examined() int { return len(co.records) }
+
+// Rounds returns the number of scoring rounds executed so far.
+func (co *Core) Rounds() int { return co.rounds }
+
+// Exhausted reports whether the budget admits no further scoring.
+func (co *Core) Exhausted() bool {
+	if co.Remaining() <= 0 {
+		return true
+	}
+	return co.budget.MaxRounds > 0 && co.rounds >= co.budget.MaxRounds
+}
+
+// Seen reports whether p was already streamed into a scoring round.
+func (co *Core) Seen(p sim.Placement) bool {
+	co.keyBuf = appendPlacementKey(co.keyBuf[:0], p)
+	_, ok := co.seen[string(co.keyBuf)]
+	return ok
+}
+
+// RandomPlacement draws one valid placement with the core's rng. The
+// returned slice is scratch shared with the next draw: copy to retain.
+func (co *Core) RandomPlacement() (sim.Placement, bool) {
+	return co.gen.randomValid(co.rng)
+}
+
+// ValidPlacement reports whether p satisfies the Figure 5 rules.
+func (co *Core) ValidPlacement(p sim.Placement) bool { return co.gen.validate(p) }
+
+// PrefixChoices appends to dst the valid host choices for the operator at
+// topological position d, given the placement of the preceding positions.
+func (co *Core) PrefixChoices(dst []int, p sim.Placement, d int) []int {
+	co.gen.replay(p, d)
+	return append(dst, co.gen.choicesFor(p, co.gen.order[d])...)
+}
+
+// CompleteGreedy extends a placement prefix covering the first d
+// topological positions into a full valid placement (greedy co-location
+// completion); see generator.completeGreedy.
+func (co *Core) CompleteGreedy(p sim.Placement, d int) (sim.Placement, bool) {
+	return co.gen.completeGreedy(p, d)
+}
+
+// MarkComplete records that the strategy covered the entire
+// valid-placement space (Exhaustive only).
+func (co *Core) MarkComplete() { co.complete = true }
+
+// ScoreRound streams one batch of candidates through the engine:
+// duplicates return their cached record without consuming budget, fresh
+// candidates are scored together through the batched worker pool (one
+// generate->score->prune round), and candidates beyond the budget come
+// back with Skipped set. The returned slice is aligned with cands.
+func (co *Core) ScoreRound(cands []sim.Placement) []Scored {
+	out := make([]Scored, len(cands))
+	roundOpen := co.budget.MaxRounds <= 0 || co.rounds < co.budget.MaxRounds
+	base := len(co.records)
+	var fresh []sim.Placement
+	var freshOut []int
+	// dups are duplicates of a fresh candidate earlier in this same
+	// round; their records exist only after the batch is scored.
+	type pendingDup struct {
+		out int
+		rec int32
+	}
+	var dups []pendingDup
+	for i, p := range cands {
+		co.keyBuf = appendPlacementKey(co.keyBuf[:0], p)
+		if ri, ok := co.seen[string(co.keyBuf)]; ok {
+			if int(ri) < len(co.records) {
+				out[i] = co.records[ri]
+			} else {
+				dups = append(dups, pendingDup{out: i, rec: ri})
+			}
+			continue
+		}
+		if !roundOpen || base+len(fresh) >= co.budget.MaxCandidates {
+			out[i] = Scored{Placement: append(sim.Placement(nil), p...), Skipped: true}
+			continue
+		}
+		cp := append(sim.Placement(nil), p...)
+		co.seen[string(co.keyBuf)] = int32(base + len(fresh))
+		freshOut = append(freshOut, i)
+		fresh = append(fresh, cp)
+	}
+	if len(fresh) > 0 {
+		costs, errs := scoreCandidates(co.pred, co.q, co.c, fresh, co.opts)
+		co.rounds++
+		for j, p := range fresh {
+			rec := Scored{Placement: p}
+			if errs[j] != nil {
+				rec.Err = errs[j]
+				co.errored++
+				co.filtered++
+				if co.firstErr == nil {
+					co.firstErr = fmt.Errorf("placement: predicting candidate %d: %w", base+j, errs[j])
+				}
+			} else {
+				rec.Costs = costs[j]
+				rec.Score = objectiveScore(co.obj, costs[j])
+				rec.Sane = costs[j].Success && !costs[j].Backpressured
+				if !rec.Sane {
+					co.filtered++
+				}
+				if co.fallbackIdx < 0 || rec.Score < co.records[co.fallbackIdx].Score {
+					co.fallbackIdx = base + j
+				}
+				if rec.Sane && (co.bestIdx < 0 || rec.Score < co.records[co.bestIdx].Score) {
+					co.bestIdx = base + j
+				}
+			}
+			co.records = append(co.records, rec)
+			out[freshOut[j]] = rec
+		}
+	}
+	// Resolve intra-round duplicates now that their records exist.
+	for _, d := range dups {
+		out[d.out] = co.records[d.rec]
+	}
+	return out
+}
+
+// result packages the core's state into a SearchResult.
+func (co *Core) result(strategy string) (*SearchResult, error) {
+	idx := co.bestIdx
+	if idx < 0 {
+		// Everything filtered: fall back to the cheapest scored prediction.
+		idx = co.fallbackIdx
+	}
+	if idx < 0 {
+		err := co.firstErr
+		if err == nil {
+			err = fmt.Errorf("placement: no valid placement candidates for %d operators on %d hosts",
+				co.q.NumOps(), co.c.NumHosts())
+		}
+		return nil, fmt.Errorf("placement: %s search scored no candidates: %w", strategy, err)
+	}
+	rec := co.records[idx]
+	return &SearchResult{
+		Placement: rec.Placement,
+		Costs:     rec.Costs,
+		Index:     idx,
+		Strategy:  strategy,
+		Rounds:    co.rounds,
+		Examined:  len(co.records),
+		Filtered:  co.filtered,
+		Errored:   co.errored,
+		Complete:  co.complete,
+	}, nil
+}
+
+// Search runs one placement search: the strategy streams candidate
+// batches into the budgeted core, the core scores them with the predictor
+// (batched, worker-pooled, sanity-filtered) and the best placement under
+// the objective is returned. A nil strategy selects RandomSample. The
+// result is deterministic for a fixed seed and any Workers value.
+func Search(pred Predictor, q *stream.Query, c *hardware.Cluster, strat Strategy, obj Objective, budget Budget, opts SearchOptions) (*SearchResult, error) {
+	if strat == nil {
+		strat = RandomSample{}
+	}
+	co, err := newCore(pred, q, c, obj, budget, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := strat.Run(co); err != nil && len(co.records) == 0 {
+		return nil, err
+	}
+	return co.result(strat.Name())
+}
+
+// ParseStrategy resolves a strategy name (as used by the CLI -strategy
+// flag and the serve API "strategy" field) to its default-configured
+// implementation.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "", "random", "random-sample":
+		return RandomSample{}, nil
+	case "exhaustive":
+		return Exhaustive{}, nil
+	case "beam":
+		return Beam{}, nil
+	case "local-search", "local", "hill-climb":
+		return LocalSearch{}, nil
+	}
+	return nil, fmt.Errorf("placement: unknown strategy %q (want one of %v)", name, StrategyNames())
+}
+
+// StrategyNames lists the canonical built-in strategy names.
+func StrategyNames() []string {
+	return []string{"random", "exhaustive", "beam", "local-search"}
+}

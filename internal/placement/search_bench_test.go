@@ -1,0 +1,64 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSearch measures one full search run per strategy on a 12-host
+// cluster with a 64-candidate budget, using the deterministic landscape
+// predictor so the numbers isolate engine overhead (generation, dedup,
+// streaming rounds) from model inference.
+func BenchmarkSearch(b *testing.B) {
+	q := testQuery()
+	c := cluster12()
+	pred := landscapePredictor{}
+	budget := Budget{MaxCandidates: 64}
+	for _, name := range StrategyNames() {
+		strat, err := ParseStrategy(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Search(pred, q, c, strat, MinProcLatency, budget,
+					SearchOptions{Seed: int64(i), Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlacementKey compares the compact binary dedup key against the
+// fmt.Sprint encoding it replaced.
+func BenchmarkPlacementKey(b *testing.B) {
+	q := testQuery()
+	c := cluster12()
+	cands := Enumerate(rand.New(rand.NewSource(1)), q, c, 32)
+	if len(cands) == 0 {
+		b.Fatal("no candidates")
+	}
+	b.Run("compact", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			seen := make(map[string]bool, len(cands))
+			for _, p := range cands {
+				buf = appendPlacementKey(buf[:0], p)
+				seen[string(buf)] = true
+			}
+		}
+	})
+	b.Run("sprint", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seen := make(map[string]bool, len(cands))
+			for _, p := range cands {
+				seen[fmt.Sprint([]int(p))] = true
+			}
+		}
+	})
+}

@@ -1,0 +1,341 @@
+package placement
+
+import (
+	"sort"
+
+	"costream/internal/sim"
+)
+
+// randomChunk is RandomSample's streaming batch size: draws are scored in
+// chunks so large budgets do not materialize every candidate up front.
+const randomChunk = 64
+
+// RandomSample is the paper's baseline strategy: k distinct random valid
+// placements, scored, sanity-filtered, best one kept. For a given seed and
+// candidate budget it examines exactly the placements the pre-engine
+// Enumerate+Optimize pipeline examined and returns the identical result.
+type RandomSample struct{}
+
+// Name implements Strategy.
+func (RandomSample) Name() string { return "random" }
+
+// Run implements Strategy.
+func (RandomSample) Run(co *Core) error {
+	k := co.Remaining()
+	pending := make(map[string]bool, randomChunk)
+	var key []byte
+	chunk := make([]sim.Placement, 0, randomChunk)
+	flush := func() {
+		if len(chunk) > 0 {
+			co.ScoreRound(chunk)
+			chunk = chunk[:0]
+			clear(pending)
+		}
+	}
+	drawn, misses := 0, 0
+	for drawn < k && misses < 8*k+64 && !co.Exhausted() {
+		p, ok := co.RandomPlacement()
+		if !ok {
+			misses++
+			continue
+		}
+		key = appendPlacementKey(key[:0], p)
+		if pending[string(key)] || co.Seen(p) {
+			misses++
+			continue
+		}
+		pending[string(key)] = true
+		chunk = append(chunk, append(sim.Placement(nil), p...))
+		drawn++
+		if len(chunk) >= randomChunk {
+			flush()
+		}
+	}
+	flush()
+	// A fruitless run falls through to the core, which reports the
+	// no-candidates error.
+	return nil
+}
+
+// Exhaustive enumerates the complete valid-placement space in depth-first
+// topological order with rule-based pruning, streaming chunks into the
+// scoring core. Generation stops as soon as the budget is exhausted, so
+// the strategy is safe on large spaces (the budget is the hard cap); when
+// the whole space fits the budget, the result is provably optimal under
+// the predictor and SearchResult.Complete is set.
+type Exhaustive struct {
+	// ChunkSize is the streaming batch size (default 128).
+	ChunkSize int
+}
+
+// Name implements Strategy.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Run implements Strategy.
+func (e Exhaustive) Run(co *Core) error {
+	chunkSize := e.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = 128
+	}
+	n := co.Query().NumOps()
+	order := co.TopoOrder()
+	g := co.gen
+	p := make(sim.Placement, n)
+	for i := range p {
+		p[i] = -1
+	}
+	chunk := make([]sim.Placement, 0, chunkSize)
+	emitted := 0
+	// choicesFor returns generator scratch reused by deeper levels; one
+	// reusable buffer per depth keeps the DFS allocation-free.
+	choiceBufs := make([][]int, n)
+	var dfs func(d int) bool // false aborts the enumeration
+	dfs = func(d int) bool {
+		if d == n {
+			chunk = append(chunk, append(sim.Placement(nil), p...))
+			emitted++
+			if len(chunk) >= chunkSize {
+				co.ScoreRound(chunk)
+				chunk = chunk[:0]
+				if co.Exhausted() {
+					return false
+				}
+			}
+			return true
+		}
+		v := order[d]
+		choiceBufs[d] = append(choiceBufs[d][:0], g.choicesFor(p, v)...)
+		for _, h := range choiceBufs[d] {
+			g.place(p, v, h)
+			if !dfs(d + 1) {
+				return false
+			}
+		}
+		p[v] = -1
+		return true
+	}
+	covered := dfs(0)
+	if len(chunk) > 0 {
+		co.ScoreRound(chunk)
+	}
+	if covered && co.Examined() == emitted {
+		// Every valid placement was generated and none fell past the
+		// budget: the space is fully covered.
+		co.MarkComplete()
+	}
+	return nil
+}
+
+// Beam constructs placements operator by operator in topological order,
+// keeping the Width best partial placements per step. A partial placement
+// is scored by greedily completing it (remaining operators co-locate onto
+// their strongest upstream host) and predicting the completion's costs via
+// the batched scoring core, so every round is one PredictBatch-sized
+// call. Beam is fully deterministic (no randomness).
+type Beam struct {
+	// Width is the number of partial placements kept per step (default 8).
+	Width int
+}
+
+// Name implements Strategy.
+func (Beam) Name() string { return "beam" }
+
+// Run implements Strategy.
+func (b Beam) Run(co *Core) error {
+	width := b.Width
+	if width <= 0 {
+		width = 8
+	}
+	n := co.Query().NumOps()
+	order := co.TopoOrder()
+	blank := make(sim.Placement, n)
+	for i := range blank {
+		blank[i] = -1
+	}
+	entries := []sim.Placement{blank}
+	var choiceBuf []int
+	for d := 0; d < n && !co.Exhausted(); d++ {
+		// Spread the remaining candidate budget over the remaining
+		// depths so early rounds cannot starve the later, more decisive
+		// ones. Entries are ranked best-first, so truncating keeps the
+		// expansions of the most promising partials.
+		quota := co.Remaining() / (n - d)
+		if quota < width {
+			quota = width
+		}
+		var partials []sim.Placement
+		var comps []sim.Placement
+	expand:
+		for _, e := range entries {
+			choiceBuf = co.PrefixChoices(choiceBuf[:0], e, d)
+			for _, h := range choiceBuf {
+				if len(comps) >= quota {
+					break expand
+				}
+				child := append(sim.Placement(nil), e...)
+				child[order[d]] = h
+				comp, ok := co.CompleteGreedy(child, d+1)
+				if !ok {
+					continue
+				}
+				partials = append(partials, child)
+				comps = append(comps, comp)
+			}
+		}
+		if len(partials) == 0 {
+			break
+		}
+		scored := co.ScoreRound(comps)
+		idx := make([]int, len(partials))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			return scored[idx[a]].betterThan(&scored[idx[b]])
+		})
+		if len(idx) > width {
+			idx = idx[:width]
+		}
+		next := make([]sim.Placement, 0, len(idx))
+		for _, i := range idx {
+			next = append(next, partials[i])
+		}
+		entries = next
+	}
+	return nil
+}
+
+// LocalSearch hill-climbs from valid starts: each round scores the
+// neighborhood of the current placement (all valid single-operator moves
+// and operator-pair swaps, subsampled deterministically when large) in one
+// batch and moves to the best neighbor. Non-improving rounds exhaust
+// Patience, triggering a restart, until the budget runs out. The first
+// start is the deterministic greedy completion (co-locate onto the most
+// capable hosts); later restarts draw random valid placements.
+type LocalSearch struct {
+	// Restarts caps the number of random restarts (<= 0: keep restarting
+	// until the budget is exhausted).
+	Restarts int
+	// Patience is the number of consecutive non-improving rounds before
+	// a restart (default 2).
+	Patience int
+	// MaxNeighbors caps the scored neighborhood per round (default 64).
+	MaxNeighbors int
+}
+
+// Name implements Strategy.
+func (LocalSearch) Name() string { return "local-search" }
+
+// Run implements Strategy.
+func (ls LocalSearch) Run(co *Core) error {
+	patience := ls.Patience
+	if patience <= 0 {
+		patience = 2
+	}
+	maxN := ls.MaxNeighbors
+	if maxN <= 0 {
+		maxN = 64
+	}
+	blank := make(sim.Placement, co.Query().NumOps())
+	for i := range blank {
+		blank[i] = -1
+	}
+	for r := 0; !co.Exhausted() && (ls.Restarts <= 0 || r < ls.Restarts); r++ {
+		before := co.Examined()
+		var start sim.Placement
+		if r == 0 {
+			// The first climb starts from the deterministic greedy
+			// completion — a strong, budget-free seed.
+			start, _ = co.CompleteGreedy(blank, 0)
+		}
+		if start == nil {
+			p, ok := co.RandomPlacement()
+			if !ok {
+				// No drawable start: stop; an entirely fruitless run
+				// surfaces as the core's no-candidates error.
+				break
+			}
+			start = append(sim.Placement(nil), p...)
+		}
+		cur := co.ScoreRound([]sim.Placement{start})[0]
+		if cur.Skipped {
+			break
+		}
+		bad := 0
+		for !co.Exhausted() {
+			neigh := localNeighbors(co, cur.Placement, maxN)
+			if len(neigh) == 0 {
+				break
+			}
+			scored := co.ScoreRound(neigh)
+			best := 0
+			for i := 1; i < len(scored); i++ {
+				if scored[i].betterThan(&scored[best]) {
+					best = i
+				}
+			}
+			if scored[best].betterThan(&cur) {
+				cur = scored[best]
+				bad = 0
+			} else {
+				bad++
+				if bad >= patience {
+					break
+				}
+			}
+		}
+		if co.Examined() == before {
+			// The whole restart hit only cached placements: the reachable
+			// space is exhausted and further restarts cannot progress.
+			break
+		}
+	}
+	return nil
+}
+
+// localNeighbors generates the move/swap neighborhood of p: every valid
+// placement differing by one operator's host, and every valid placement
+// obtained by swapping the hosts of two operators. Above maxN the
+// neighborhood is subsampled with the core rng (deterministic for a fixed
+// seed), preserving generation order for stable tie-breaks.
+func localNeighbors(co *Core, p sim.Placement, maxN int) []sim.Placement {
+	n := len(p)
+	hosts := co.Cluster().NumHosts()
+	tmp := append(sim.Placement(nil), p...)
+	var out []sim.Placement
+	for v := 0; v < n; v++ {
+		old := tmp[v]
+		for h := 0; h < hosts; h++ {
+			if h == old {
+				continue
+			}
+			tmp[v] = h
+			if co.ValidPlacement(tmp) {
+				out = append(out, append(sim.Placement(nil), tmp...))
+			}
+		}
+		tmp[v] = old
+	}
+	for v := 0; v < n; v++ {
+		for w := v + 1; w < n; w++ {
+			if tmp[v] == tmp[w] {
+				continue
+			}
+			tmp[v], tmp[w] = tmp[w], tmp[v]
+			if co.ValidPlacement(tmp) {
+				out = append(out, append(sim.Placement(nil), tmp...))
+			}
+			tmp[v], tmp[w] = tmp[w], tmp[v]
+		}
+	}
+	if len(out) > maxN {
+		idx := co.Rng().Perm(len(out))[:maxN]
+		sort.Ints(idx)
+		sub := make([]sim.Placement, 0, maxN)
+		for _, i := range idx {
+			sub = append(sub, out[i])
+		}
+		out = sub
+	}
+	return out
+}

@@ -274,11 +274,13 @@ func TestPredictBatchHandler(t *testing.T) {
 	}
 }
 
+func seedPtr(v int64) *int64 { return &v }
+
 func TestOptimizeHandler(t *testing.T) {
 	s := newTestServer(t, Config{})
 	q, c := testQuery(t), testCluster()
 	w := doJSON(t, s, http.MethodPost, "/v1/optimize", OptimizeRequest{
-		Query: q, Cluster: c, Candidates: 8, Objective: "min-processing-latency", Seed: 3,
+		Query: q, Cluster: c, Candidates: 8, Objective: "min-processing-latency", Seed: seedPtr(3),
 	})
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body)
@@ -296,10 +298,25 @@ func TestOptimizeHandler(t *testing.T) {
 	if resp.Costs != toCosts(fakeCosts(resp.Placement)) {
 		t.Errorf("costs %+v do not match the returned placement", resp.Costs)
 	}
+	if resp.Strategy != "random" {
+		t.Errorf("strategy %q, want default random", resp.Strategy)
+	}
+	if resp.Seed != 3 {
+		t.Errorf("seed %d, want echoed 3", resp.Seed)
+	}
+	if resp.Examined != resp.Candidates {
+		t.Errorf("examined %d != candidates %d", resp.Examined, resp.Candidates)
+	}
+	if resp.Index < 0 || resp.Index >= resp.Examined {
+		t.Errorf("index %d out of range [0, %d)", resp.Index, resp.Examined)
+	}
+	if resp.Rounds <= 0 {
+		t.Errorf("rounds %d, want positive", resp.Rounds)
+	}
 
 	// Determinism: same request, same answer.
 	w2 := doJSON(t, s, http.MethodPost, "/v1/optimize", OptimizeRequest{
-		Query: q, Cluster: c, Candidates: 8, Objective: "min-processing-latency", Seed: 3,
+		Query: q, Cluster: c, Candidates: 8, Objective: "min-processing-latency", Seed: seedPtr(3),
 	})
 	if !bytes.Equal(w.Body.Bytes(), w2.Body.Bytes()) {
 		t.Error("same optimize request produced different responses")
@@ -310,6 +327,93 @@ func TestOptimizeHandler(t *testing.T) {
 	}); w.Code != http.StatusBadRequest {
 		t.Errorf("bad objective: status %d, want 400", w.Code)
 	}
+}
+
+// TestOptimizeStrategies drives each search strategy through the handler
+// and checks the new response fields.
+func TestOptimizeStrategies(t *testing.T) {
+	s := newTestServer(t, Config{})
+	q, c := testQuery(t), testCluster()
+	for _, strat := range []string{"random", "exhaustive", "beam", "local-search"} {
+		req := OptimizeRequest{
+			Query: q, Cluster: c, Candidates: 16, Strategy: strat, Seed: seedPtr(5),
+		}
+		if strat == "beam" {
+			req.BeamWidth = 3
+		}
+		w := doJSON(t, s, http.MethodPost, "/v1/optimize", req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", strat, w.Code, w.Body)
+		}
+		var resp OptimizeResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Strategy != strat {
+			t.Errorf("strategy %q, want %q", resp.Strategy, strat)
+		}
+		if err := resp.Placement.Validate(q, c); err != nil {
+			t.Errorf("%s: invalid placement: %v", strat, err)
+		}
+		if resp.Examined <= 0 || resp.Examined > 16 {
+			t.Errorf("%s: examined %d outside (0, 16]", strat, resp.Examined)
+		}
+	}
+
+	if w := doJSON(t, s, http.MethodPost, "/v1/optimize", OptimizeRequest{
+		Query: q, Cluster: c, Strategy: "quantum-annealing",
+	}); w.Code != http.StatusBadRequest {
+		t.Errorf("unknown strategy: status %d, want 400", w.Code)
+	}
+	if w := doJSON(t, s, http.MethodPost, "/v1/optimize", OptimizeRequest{
+		Query: q, Cluster: c, Strategy: "random", BeamWidth: 4,
+	}); w.Code != http.StatusBadRequest {
+		t.Errorf("beam_width with non-beam strategy: status %d, want 400", w.Code)
+	}
+}
+
+// TestOptimizeSeedHandling: an omitted seed selects the documented
+// default, while an explicit zero seed is honored rather than rewritten.
+func TestOptimizeSeedHandling(t *testing.T) {
+	s := newTestServer(t, Config{})
+	q, c := testQuery(t), testCluster()
+	run := func(req OptimizeRequest) OptimizeResponse {
+		t.Helper()
+		w := doJSON(t, s, http.MethodPost, "/v1/optimize", req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", w.Code, w.Body)
+		}
+		var resp OptimizeResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	omitted := run(OptimizeRequest{Query: q, Cluster: c, Candidates: 8})
+	if omitted.Seed != DefaultOptimizeSeed {
+		t.Errorf("omitted seed: effective %d, want default %d", omitted.Seed, DefaultOptimizeSeed)
+	}
+	zero := run(OptimizeRequest{Query: q, Cluster: c, Candidates: 8, Seed: seedPtr(0)})
+	if zero.Seed != 0 {
+		t.Errorf("explicit zero seed rewritten to %d", zero.Seed)
+	}
+	zero2 := run(OptimizeRequest{Query: q, Cluster: c, Candidates: 8, Seed: seedPtr(0)})
+	if !jsonEqual(t, zero, zero2) {
+		t.Error("zero-seed requests are not deterministic")
+	}
+}
+
+func jsonEqual(t *testing.T, a, b any) bool {
+	t.Helper()
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Equal(ja, jb)
 }
 
 // TestRequestWorkLimits: a single request cannot buy unbounded

@@ -8,7 +8,8 @@
 //
 //	POST /v1/predict        predict the five cost metrics for one placement
 //	POST /v1/predict-batch  score many placements of one query in one call
-//	POST /v1/optimize       enumerate + score + pick the best placement
+//	POST /v1/optimize       search the placement space for the best placement
+//	                        (random / exhaustive / beam / local-search)
 //	GET  /v1/example        a ready-to-POST sample predict request
 //	GET  /healthz           liveness plus model provenance
 //	GET  /stats             request, cache and coalescing counters
@@ -177,19 +178,32 @@ type PredictBatchRequest struct {
 	Placements []sim.Placement   `json:"placements"`
 }
 
-// OptimizeRequest asks the server to enumerate and score placement
-// candidates and return the best.
+// DefaultOptimizeSeed is the search seed used when an /v1/optimize
+// request omits "seed". An explicit zero seed is honored as-is.
+const DefaultOptimizeSeed = 1
+
+// OptimizeRequest asks the server to search the placement space and
+// return the best candidate found under the budget.
 type OptimizeRequest struct {
 	Query   *stream.Query     `json:"query"`
 	Cluster *hardware.Cluster `json:"cluster"`
-	// Candidates is the number of heuristic candidates to enumerate
-	// (default 16).
+	// Candidates is the search budget: the maximum number of distinct
+	// placements scored (default 16).
 	Candidates int `json:"candidates,omitempty"`
+	// Rounds optionally bounds the generate->score->prune rounds
+	// (default unlimited; the candidate budget still applies).
+	Rounds int `json:"rounds,omitempty"`
 	// Objective is one of "min-processing-latency" (default),
 	// "min-e2e-latency" or "max-throughput".
 	Objective string `json:"objective,omitempty"`
-	// Seed drives candidate enumeration (default 1).
-	Seed int64 `json:"seed,omitempty"`
+	// Strategy selects the search strategy: "random" (default),
+	// "exhaustive", "beam" or "local-search".
+	Strategy string `json:"strategy,omitempty"`
+	// BeamWidth sets the beam width when Strategy is "beam".
+	BeamWidth int `json:"beam_width,omitempty"`
+	// Seed drives the search. Omitted: DefaultOptimizeSeed; an explicit
+	// 0 is honored (it is a seed like any other).
+	Seed *int64 `json:"seed,omitempty"`
 }
 
 // Costs is the JSON form of the five predicted cost metrics.
@@ -225,12 +239,24 @@ type PredictBatchResponse struct {
 type OptimizeResponse struct {
 	Placement sim.Placement `json:"placement"`
 	Costs     Costs         `json:"costs"`
-	// Candidates is how many placements were enumerated and scored.
+	// Candidates is how many distinct placements were scored (same value
+	// as Examined; kept for backward compatibility).
 	Candidates int `json:"candidates"`
 	// Filtered counts candidates removed by the sanity check (predicted
 	// failure/backpressure) or scoring errors; Errored is the error subset.
 	Filtered int `json:"filtered"`
 	Errored  int `json:"errored"`
+	// Strategy is the search strategy that ran; Rounds its
+	// generate->score->prune round count; Examined the number of
+	// distinct placements it scored.
+	Strategy string `json:"strategy"`
+	Rounds   int    `json:"rounds"`
+	Examined int    `json:"examined"`
+	// Index is the chosen placement's ordinal in the stream of scored
+	// candidates; Seed is the effective search seed (the request seed,
+	// or DefaultOptimizeSeed when omitted).
+	Index int   `json:"index"`
+	Seed  int64 `json:"seed"`
 }
 
 type errorResponse struct {
@@ -401,20 +427,30 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%d candidates exceeds the per-request limit of %d", k, maxCandidates)
 		return
 	}
-	seed := req.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	cands := placement.Enumerate(rand.New(rand.NewSource(seed)), req.Query, req.Cluster, k)
-	if len(cands) == 0 {
-		s.writeError(w, http.StatusUnprocessableEntity,
-			"no valid placement candidates for %d operators on %d hosts",
-			req.Query.NumOps(), req.Cluster.NumHosts())
+	strat, err := placement.ParseStrategy(req.Strategy)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.BeamWidth != 0 {
+		if _, ok := strat.(placement.Beam); !ok {
+			s.writeError(w, http.StatusBadRequest, "beam_width requires strategy %q, got %q", "beam", strat.Name())
+			return
+		}
+		if req.BeamWidth < 0 || req.BeamWidth > k {
+			s.writeError(w, http.StatusBadRequest, "beam_width %d out of range [1, %d]", req.BeamWidth, k)
+			return
+		}
+		strat = placement.Beam{Width: req.BeamWidth}
+	}
+	seed := int64(DefaultOptimizeSeed)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
 	s.acquire()
-	res, err := placement.OptimizeOpts(s.pred, req.Query, req.Cluster, cands, obj,
-		placement.Options{Workers: s.cfg.OptimizeWorkers})
+	res, err := placement.Search(s.pred, req.Query, req.Cluster, strat, obj,
+		placement.Budget{MaxCandidates: k, MaxRounds: req.Rounds},
+		placement.SearchOptions{Workers: s.cfg.OptimizeWorkers, Seed: seed})
 	s.release()
 	if err != nil {
 		s.writeError(w, http.StatusUnprocessableEntity, "optimization failed: %v", err)
@@ -423,9 +459,14 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, OptimizeResponse{
 		Placement:  res.Placement,
 		Costs:      toCosts(res.Costs),
-		Candidates: len(cands),
+		Candidates: res.Examined,
 		Filtered:   res.Filtered,
 		Errored:    res.Errored,
+		Strategy:   res.Strategy,
+		Rounds:     res.Rounds,
+		Examined:   res.Examined,
+		Index:      res.Index,
+		Seed:       seed,
 	})
 }
 
