@@ -4,10 +4,14 @@
 // metrics, or accuracy on a balanced subset for the binary metrics. The
 // saved model is loaded — nothing is retrained.
 //
+// -corpus accepts a monolithic .json.gz file or a sharded corpus-store
+// directory; sharded corpora are streamed (balanced subsets are selected
+// by index), never materialized.
+//
 // Usage:
 //
 //	costream-eval -corpus test.json.gz -model model.json.gz             # every trained metric
-//	costream-eval -corpus test.json.gz -model model.json.gz -metric e2e-latency
+//	costream-eval -corpus shards/ -model model.json.gz -metric e2e-latency
 //
 // Legacy bare-network model files (pre-artifact costream-train output)
 // are still readable when -metric names the metric they were trained for.
@@ -37,14 +41,14 @@ func main() {
 	)
 	flag.Parse()
 
-	corpus, err := dataset.Load(*corpusPath)
+	src, err := dataset.Open(*corpusPath)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	pred, prov, err := artifact.Load(*modelPath)
 	if errors.Is(err, artifact.ErrLegacyFormat) {
-		evalLegacy(corpus, *modelPath, *metricName)
+		evalLegacy(src, *modelPath, *metricName)
 		return
 	}
 	if err != nil {
@@ -74,7 +78,7 @@ func main() {
 			}
 			continue
 		}
-		report(e, corpus, m)
+		report(e, src, m)
 		evaluated++
 	}
 	if evaluated == 0 {
@@ -83,10 +87,12 @@ func main() {
 }
 
 // report prints one metric's evaluation line, ensemble-aggregated like
-// the paper (mean for regression, majority vote for classification).
-func report(p core.TracePredictor, corpus *dataset.Corpus, metric core.Metric) {
+// the paper (mean for regression, majority vote for classification). The
+// corpus is streamed: balanced classification subsets are chosen by
+// index, so sharded corpora are never materialized.
+func report(p core.TracePredictor, src dataset.Source, metric core.Metric) {
 	if metric.IsRegression() {
-		sum, err := core.EvaluateRegression(p, corpus, metric)
+		sum, err := core.EvaluateRegressionSource(p, src, metric)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -94,21 +100,17 @@ func report(p core.TracePredictor, corpus *dataset.Corpus, metric core.Metric) {
 			metric, sum.Median, sum.P95, sum.Max, sum.N)
 		return
 	}
-	bal := corpus.Balanced(func(tr *dataset.Trace) bool { return metric.Label(tr.Metrics) }, 1)
-	if bal.Len() == 0 {
-		bal = corpus
-	}
-	acc, err := core.EvaluateClassification(p, bal, metric)
+	acc, n, err := core.EvaluateClassificationBalancedSource(p, src, metric, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-13s accuracy=%.2f%% (n=%d, balanced)\n", metric, 100*acc, bal.Len())
+	fmt.Printf("%-13s accuracy=%.2f%% (n=%d, balanced)\n", metric, 100*acc, n)
 }
 
 // evalLegacy reads a pre-artifact bare gnn.Model JSON file. Those files
 // carry no metric or featurizer state, so -metric must say what the
 // network was trained for (the default featurization is assumed).
-func evalLegacy(corpus *dataset.Corpus, path, metricName string) {
+func evalLegacy(src dataset.Source, path, metricName string) {
 	if metricName == "" {
 		log.Fatalf("%s is a legacy bare-network model file; pass -metric to name the metric it was trained for, or re-train with costream-train", path)
 	}
@@ -125,5 +127,5 @@ func evalLegacy(corpus *dataset.Corpus, path, metricName string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("model: legacy bare-network file (no provenance)\n")
-	report(&core.CostModel{Metric: metric, Feat: core.Featurizer{}, Net: &net}, corpus, metric)
+	report(&core.CostModel{Metric: metric, Feat: core.Featurizer{}, Net: &net}, src, metric)
 }

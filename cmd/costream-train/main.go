@@ -4,9 +4,16 @@
 // versioned model artifact loadable by costream-serve, costream-eval,
 // costream-optimize and costream.LoadModel.
 //
+// -corpus accepts both layouts: a monolithic .json.gz file, or a sharded
+// corpus-store directory. Sharded corpora are streamed — split by index
+// and featurized one trace at a time — so training never materializes the
+// full trace set in memory; the trained weights are bit-identical across
+// the two layouts.
+//
 // Usage:
 //
 //	costream-train -corpus corpus.json.gz -out model.json.gz                 # all five metrics
+//	costream-train -corpus corpus/ -out model.json.gz                        # sharded, streamed
 //	costream-train -corpus corpus.json.gz -metrics e2e-latency,success ...   # a subset
 package main
 
@@ -66,11 +73,11 @@ func run() error {
 		defer pprof.StopCPUProfile()
 	}
 	core.SetTrainBudget(*workers)
-	corpus, err := dataset.Load(*corpusPath)
+	src, err := dataset.Open(*corpusPath)
 	if err != nil {
 		return err
 	}
-	train, val, _ := corpus.Split(0.8, 0.1, *seed)
+	trainIdx, valIdx, _ := dataset.SplitIndices(src.Count(), 0.8, 0.1, *seed)
 	cfg := core.DefaultTrainConfig(*seed)
 	cfg.Epochs = *epochs
 	cfg.Hidden = *hidden
@@ -94,7 +101,7 @@ func run() error {
 	}
 
 	start := time.Now()
-	pred, err := core.TrainPredictor(train, val, core.PredictorConfig{
+	pred, err := core.TrainPredictorSource(src, trainIdx, valIdx, core.PredictorConfig{
 		Train:        cfg,
 		EnsembleSize: *ensemble,
 		Metrics:      metrics,
@@ -107,7 +114,7 @@ func run() error {
 	prov := artifact.Provenance{
 		CreatedAt:    time.Now().UTC(),
 		TrainSeed:    *seed,
-		CorpusSize:   corpus.Len(),
+		CorpusSize:   src.Count(),
 		Epochs:       *epochs,
 		EnsembleSize: *ensemble,
 		Hidden:       *hidden,
@@ -121,6 +128,6 @@ func run() error {
 		names[i] = m.String()
 	}
 	fmt.Printf("trained %d metric(s) [%s] x %d members on %d traces in %v -> %s\n",
-		len(metrics), strings.Join(names, ", "), *ensemble, train.Len(), elapsed, *out)
+		len(metrics), strings.Join(names, ", "), *ensemble, len(trainIdx), elapsed, *out)
 	return nil
 }

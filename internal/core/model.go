@@ -366,6 +366,33 @@ func Train(train, val *dataset.Corpus, metric Metric, cfg TrainConfig) (*CostMod
 		return nil, fmt.Errorf("core: invalid training config %+v", cfg)
 	}
 	feat := Featurizer{Mode: cfg.Mode}
+	trainSamples, err := buildSamples(&feat, train, metric)
+	if err != nil {
+		return nil, err
+	}
+	var valSamples []sample
+	if val != nil {
+		valSamples, err = buildSamples(&feat, val, metric)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return trainFromSamples(metric, trainSamples, valSamples, cfg)
+}
+
+// trainFromSamples trains a fresh model on pre-featurized samples. It owns
+// the sample slices (fit shuffles the training slice in place), so callers
+// sharing samples across models must pass copies. This is the single
+// training entry under both Train (corpus in memory) and the streaming
+// TrainPredictorSource path.
+func trainFromSamples(metric Metric, trainSamples, valSamples []sample, cfg TrainConfig) (*CostModel, error) {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.LR <= 0 {
+		return nil, fmt.Errorf("core: invalid training config %+v", cfg)
+	}
+	if len(trainSamples) == 0 {
+		return nil, fmt.Errorf("core: no usable training traces for %v", metric)
+	}
+	feat := Featurizer{Mode: cfg.Mode}
 	gcfg := gnn.DefaultConfig(feat.FeatDims())
 	if cfg.Hidden > 0 {
 		gcfg.Hidden = cfg.Hidden
@@ -376,21 +403,6 @@ func Train(train, val *dataset.Corpus, metric Metric, cfg TrainConfig) (*CostMod
 		return nil, err
 	}
 	cm := &CostModel{Metric: metric, Feat: feat, Net: net}
-
-	trainSamples, err := buildSamples(&feat, train, metric)
-	if err != nil {
-		return nil, err
-	}
-	if len(trainSamples) == 0 {
-		return nil, fmt.Errorf("core: no usable training traces for %v", metric)
-	}
-	var valSamples []sample
-	if val != nil {
-		valSamples, err = buildSamples(&feat, val, metric)
-		if err != nil {
-			return nil, err
-		}
-	}
 	if err := cm.fit(trainSamples, valSamples, cfg); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,195 @@
+// Streaming training: build the GNN sample sets directly from a
+// dataset.Source (the sharded corpus store, or an in-memory corpus) in a
+// single pass, featurizing each trace as it streams by and sharing the
+// resulting graphs across all metrics and ensemble members. The raw
+// traces are released shard by shard — only the featurized graphs (the
+// training working set, which every epoch touches anyway) stay resident,
+// so training from a sharded corpus never holds all traces in memory.
+//
+// The sample order reproduces the corpus path exactly: position r of the
+// train set is the trace at trainIdx[r] (dataset.SplitIndices order, the
+// same order Corpus.Split produces), so TrainPredictorSource returns
+// bit-identical weights to TrainPredictor over the equivalent in-memory
+// split — test-enforced in stream_test.go.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"costream/internal/dataset"
+	"costream/internal/gnn"
+	"costream/internal/sim"
+)
+
+// record is one featurized trace: the joint operator-resource graph, its
+// message-passing plan, and the measured metrics the per-metric targets
+// are derived from. Graphs are read-only during training and safely
+// shared across metrics and concurrently-training ensemble members.
+type record struct {
+	graph *gnn.Graph
+	plan  *gnn.Plan
+	met   *sim.Metrics
+}
+
+// featurizeSource streams src once and featurizes exactly the traces
+// named by the index sets, placing each at its set's rank so ordering
+// matches the corresponding materialized split corpora. Indices absent
+// from every set (e.g. the held-out test split) are skipped without
+// featurization. The sets must be disjoint.
+func featurizeSource(feat *Featurizer, src dataset.Source, idxSets ...[]int) ([][]record, error) {
+	type loc struct{ set, rank int }
+	where := make(map[int]loc)
+	out := make([][]record, len(idxSets))
+	for s, idx := range idxSets {
+		out[s] = make([]record, len(idx))
+		for r, j := range idx {
+			if prev, dup := where[j]; dup {
+				return nil, fmt.Errorf("core: trace %d appears in index sets %d and %d", j, prev.set, s)
+			}
+			where[j] = loc{set: s, rank: r}
+		}
+	}
+	seen := 0
+	err := src.Iter(func(i int, tr *dataset.Trace) error {
+		l, ok := where[i]
+		if !ok {
+			return nil
+		}
+		g, err := feat.BuildGraph(tr.Query, tr.Cluster, tr.Placement)
+		if err != nil {
+			return err
+		}
+		plan, err := gnn.NewPlan(g)
+		if err != nil {
+			return err
+		}
+		out[l.set][l.rank] = record{graph: g, plan: plan, met: tr.Metrics}
+		seen++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if seen != len(where) {
+		return nil, fmt.Errorf("core: source yielded %d of %d requested traces (index out of range for this corpus?)", seen, len(where))
+	}
+	return out, nil
+}
+
+// samplesFromRecords derives one metric's sample set from featurized
+// records, mirroring buildSamples exactly: regression keeps only
+// successful traces, classification keeps everything with
+// inverse-frequency class weights computed over the record set.
+func samplesFromRecords(recs []record, metric Metric) []sample {
+	var samples []sample
+	if metric.IsRegression() {
+		for _, r := range recs {
+			if !r.met.Success {
+				continue
+			}
+			samples = append(samples, sample{graph: r.graph, plan: r.plan, y: math.Log1p(metric.Value(r.met)), w: 1})
+		}
+		return samples
+	}
+	nPos, nNeg := 0, 0
+	for _, r := range recs {
+		if metric.Label(r.met) {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	total := float64(nPos + nNeg)
+	wPos, wNeg := 1.0, 1.0
+	if nPos > 0 && nNeg > 0 {
+		wPos = total / (2 * float64(nPos))
+		wNeg = total / (2 * float64(nNeg))
+	}
+	for _, r := range recs {
+		y, w := 0.0, wNeg
+		if metric.Label(r.met) {
+			y, w = 1, wPos
+		}
+		samples = append(samples, sample{graph: r.graph, plan: r.plan, y: y, w: w})
+	}
+	return samples
+}
+
+// trainEnsembleFromSamples trains k members over shared samples, seeding
+// members exactly like TrainEnsemble. Each member gets its own copy of
+// the sample slices (fit shuffles in place); the graphs behind them are
+// shared, read-only.
+func trainEnsembleFromSamples(metric Metric, trainSamples, valSamples []sample, cfg TrainConfig, k int) (*Ensemble, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: ensemble size must be positive")
+	}
+	models := make([]*CostModel, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cfg
+			c.Seed = cfg.Seed + int64(i)*7919
+			ts := append([]sample(nil), trainSamples...)
+			vs := append([]sample(nil), valSamples...)
+			models[i], errs[i] = trainFromSamples(metric, ts, vs, c)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Ensemble{Metric: metric, Models: models}, nil
+}
+
+// TrainPredictorSource trains like TrainPredictor, but streams the corpus
+// from src instead of requiring materialized split corpora: trainIdx and
+// valIdx (from dataset.SplitIndices) select and order the training and
+// validation traces. Each selected trace is featurized once, during the
+// streaming pass, and the graph is shared across every metric and
+// ensemble member — where the corpus path featurizes the same trace
+// metrics x members times. Weights are bit-identical to
+// TrainPredictor(train, val, cfg) over the equivalent materialized split.
+func TrainPredictorSource(src dataset.Source, trainIdx, valIdx []int, cfg PredictorConfig) (*Predictor, error) {
+	if cfg.EnsembleSize <= 0 {
+		cfg.EnsembleSize = 3
+	}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = AllMetrics()
+	}
+	feat := Featurizer{Mode: cfg.Train.Mode}
+	recs, err := featurizeSource(&feat, src, trainIdx, valIdx)
+	if err != nil {
+		return nil, err
+	}
+	pr := &Predictor{}
+	for _, m := range metrics {
+		e, err := trainEnsembleFromSamples(m,
+			samplesFromRecords(recs[0], m),
+			samplesFromRecords(recs[1], m),
+			cfg.Train, cfg.EnsembleSize)
+		if err != nil {
+			return nil, fmt.Errorf("core: training %v: %w", m, err)
+		}
+		switch m {
+		case MetricThroughput:
+			pr.Throughput = e
+		case MetricProcLatency:
+			pr.ProcLatency = e
+		case MetricE2ELatency:
+			pr.E2ELatency = e
+		case MetricBackpressure:
+			pr.Backpressure = e
+		case MetricSuccess:
+			pr.Success = e
+		}
+	}
+	return pr, nil
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+
+	"costream/internal/dataset"
+	"costream/internal/sim"
+	"costream/internal/workload"
+)
+
+func streamTestCorpus(t *testing.T, n int, seed int64) *dataset.Corpus {
+	t.Helper()
+	simCfg := sim.DefaultConfig()
+	simCfg.DurationS, simCfg.WarmupS = 15, 3
+	c, err := dataset.Build(dataset.BuildConfig{
+		N:    n,
+		Seed: seed,
+		Gen:  workload.DefaultConfig(seed),
+		Sim:  simCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestTrainPredictorSourceMatchesCorpusPath is the streaming-training
+// contract: training from a Source with SplitIndices yields bit-identical
+// weights to the materialize-then-Split corpus path, for every metric
+// kind and ensemble member.
+func TestTrainPredictorSourceMatchesCorpusPath(t *testing.T) {
+	c := streamTestCorpus(t, 40, 77)
+	const seed = 5
+	cfg := PredictorConfig{
+		Train:        DefaultTrainConfig(seed),
+		EnsembleSize: 2,
+		Metrics:      []Metric{MetricThroughput, MetricSuccess},
+	}
+	cfg.Train.Epochs = 2
+	cfg.Train.Hidden = 8
+
+	train, val, _ := c.Split(0.8, 0.1, seed)
+	want, err := TrainPredictor(train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trainIdx, valIdx, _ := dataset.SplitIndices(c.Len(), 0.8, 0.1, seed)
+	got, err := TrainPredictorSource(c, trainIdx, valIdx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, slot := range want.Ensembles() {
+		if slot.Ensemble == nil {
+			continue
+		}
+		var gotE *Ensemble
+		for _, g := range got.Ensembles() {
+			if g.Metric == slot.Metric {
+				gotE = g.Ensemble
+			}
+		}
+		if gotE == nil {
+			t.Fatalf("source path trained no ensemble for %v", slot.Metric)
+		}
+		if len(gotE.Models) != len(slot.Ensemble.Models) {
+			t.Fatalf("%v: %d members vs %d", slot.Metric, len(gotE.Models), len(slot.Ensemble.Models))
+		}
+		for mi := range slot.Ensemble.Models {
+			wp, _ := slot.Ensemble.Models[mi].Net.Params()
+			gp, _ := gotE.Models[mi].Net.Params()
+			if len(wp) != len(gp) {
+				t.Fatalf("%v member %d: param group count differs", slot.Metric, mi)
+			}
+			for k := range wp {
+				for j := range wp[k] {
+					if wp[k][j] != gp[k][j] {
+						t.Fatalf("%v member %d: weight [%d][%d] differs: %v vs %v",
+							slot.Metric, mi, k, j, wp[k][j], gp[k][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTrainPredictorSourceFromShardStore runs the streaming path against
+// an actual on-disk shard store, proving the whole pipeline (StreamBuild
+// -> Store.Iter -> featurize -> train) is equivalent to in-memory
+// training.
+func TestTrainPredictorSourceFromShardStore(t *testing.T) {
+	c := streamTestCorpus(t, 24, 78)
+	simCfg := sim.DefaultConfig()
+	simCfg.DurationS, simCfg.WarmupS = 15, 3
+	st, err := dataset.StreamBuild(dataset.BuildConfig{
+		N:    24,
+		Seed: 78,
+		Gen:  workload.DefaultConfig(78),
+		Sim:  simCfg,
+	}, dataset.StreamConfig{Dir: t.TempDir(), ShardSize: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := PredictorConfig{
+		Train:        DefaultTrainConfig(3),
+		EnsembleSize: 1,
+		Metrics:      []Metric{MetricProcLatency},
+	}
+	cfg.Train.Epochs = 2
+	cfg.Train.Hidden = 8
+
+	trainIdx, valIdx, _ := dataset.SplitIndices(24, 0.8, 0.1, 3)
+	fromStore, err := TrainPredictorSource(st, trainIdx, valIdx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromMem, err := TrainPredictorSource(c, trainIdx, valIdx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, _ := fromMem.ProcLatency.Models[0].Net.Params()
+	gp, _ := fromStore.ProcLatency.Models[0].Net.Params()
+	for k := range wp {
+		for j := range wp[k] {
+			if wp[k][j] != gp[k][j] {
+				t.Fatalf("shard-store training diverged from in-memory at [%d][%d]", k, j)
+			}
+		}
+	}
+}
+
+// TestFeaturizeSourceRejectsBadIndices: overlapping or out-of-range index
+// sets are build bugs and must fail loudly.
+func TestFeaturizeSourceRejectsBadIndices(t *testing.T) {
+	c := streamTestCorpus(t, 6, 79)
+	feat := Featurizer{}
+	if _, err := featurizeSource(&feat, c, []int{0, 1}, []int{1, 2}); err == nil {
+		t.Error("overlapping index sets accepted")
+	}
+	if _, err := featurizeSource(&feat, c, []int{0, 99}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+// TestEvaluateSourceMatchesCorpus: the streaming eval paths agree with
+// the corpus paths they generalize.
+func TestEvaluateSourceMatchesCorpus(t *testing.T) {
+	c := streamTestCorpus(t, 30, 80)
+	cfg := DefaultTrainConfig(1)
+	cfg.Epochs = 2
+	cfg.Hidden = 8
+	train, val, _ := c.Split(0.8, 0.1, 1)
+	reg, err := Train(train, val, MetricThroughput, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := Train(train, val, MetricSuccess, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantSum, err := EvaluateRegression(reg, c, MetricThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSum, err := EvaluateRegressionSource(reg, c, MetricThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantSum != gotSum {
+		t.Fatalf("regression eval differs: %+v vs %+v", wantSum, gotSum)
+	}
+
+	bal := c.Balanced(func(tr *dataset.Trace) bool { return MetricSuccess.Label(tr.Metrics) }, 9)
+	if bal.Len() > 0 {
+		wantAcc, err := EvaluateClassification(cls, bal, MetricSuccess)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAcc, n, err := EvaluateClassificationBalancedSource(cls, c, MetricSuccess, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != bal.Len() || wantAcc != gotAcc {
+			t.Fatalf("balanced eval differs: acc %v (n=%d) vs %v (n=%d)", wantAcc, bal.Len(), gotAcc, n)
+		}
+	}
+}

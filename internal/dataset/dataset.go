@@ -5,12 +5,16 @@
 package dataset
 
 import (
+	"bufio"
 	"compress/gzip"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 
 	"costream/internal/hardware"
@@ -37,25 +41,65 @@ type Corpus struct {
 // Len returns the number of traces.
 func (c *Corpus) Len() int { return len(c.Traces) }
 
+// Count implements Source.
+func (c *Corpus) Count() int { return len(c.Traces) }
+
+// Iter implements Source: it visits every trace in index order. The
+// callback's error aborts the iteration and is returned.
+func (c *Corpus) Iter(fn func(i int, tr *Trace) error) error {
+	for i, tr := range c.Traces {
+		if err := fn(i, tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Source is a streamable supplier of traces: the in-memory Corpus or the
+// sharded on-disk Store. Iter visits traces in global index order;
+// implementations may release each trace after the callback returns, so
+// consumers that need O(1)-trace memory must not retain them.
+type Source interface {
+	Count() int
+	Iter(fn func(i int, tr *Trace) error) error
+}
+
+// SplitIndices returns the trace indices of the train/validation/test
+// partition produced by Corpus.Split with the same fractions and seed: the
+// i-th returned index of each slice is the position (in the source corpus)
+// of the i-th trace of the corresponding split corpus. It exists so
+// sharded corpora can be split by index while streaming, without
+// materializing the traces, and is the single definition of the split.
+func SplitIndices(n int, trainFrac, valFrac float64, seed int64) (train, val, test []int) {
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	nTrain := int(trainFrac * float64(n))
+	nVal := int(valFrac * float64(n))
+	for i, j := range idx {
+		switch {
+		case i < nTrain:
+			train = append(train, j)
+		case i < nTrain+nVal:
+			val = append(val, j)
+		default:
+			test = append(test, j)
+		}
+	}
+	return train, val, test
+}
+
 // Split partitions the corpus into train/validation/test subsets with the
 // given fractions (the remainder goes to test), shuffling deterministically
 // with the seed. The paper uses 80/10/10.
 func (c *Corpus) Split(trainFrac, valFrac float64, seed int64) (train, val, test *Corpus) {
-	idx := rand.New(rand.NewSource(seed)).Perm(len(c.Traces))
-	nTrain := int(trainFrac * float64(len(idx)))
-	nVal := int(valFrac * float64(len(idx)))
-	train, val, test = &Corpus{}, &Corpus{}, &Corpus{}
-	for i, j := range idx {
-		switch {
-		case i < nTrain:
-			train.Traces = append(train.Traces, c.Traces[j])
-		case i < nTrain+nVal:
-			val.Traces = append(val.Traces, c.Traces[j])
-		default:
-			test.Traces = append(test.Traces, c.Traces[j])
+	trainIdx, valIdx, testIdx := SplitIndices(len(c.Traces), trainFrac, valFrac, seed)
+	pick := func(idx []int) *Corpus {
+		out := &Corpus{}
+		for _, j := range idx {
+			out.Traces = append(out.Traces, c.Traces[j])
 		}
+		return out
 	}
-	return train, val, test
+	return pick(trainIdx), pick(valIdx), pick(testIdx)
 }
 
 // Filter returns the traces satisfying the predicate.
@@ -76,16 +120,18 @@ func (c *Corpus) Successful() *Corpus {
 	return c.Filter(func(t *Trace) bool { return t.Metrics.Success })
 }
 
-// Balanced returns a label-balanced subset for a binary metric, as the
-// paper does for the classification test sets: equally many positive and
-// negative traces, subsampled deterministically.
-func (c *Corpus) Balanced(label func(*Trace) bool, seed int64) *Corpus {
-	var pos, neg []*Trace
-	for _, t := range c.Traces {
-		if label(t) {
-			pos = append(pos, t)
+// BalancedIndices returns the trace indices of a label-balanced subset:
+// equally many positive and negative indices, subsampled and shuffled
+// deterministically with the seed. The final shuffle matters: without it
+// the subset is all positives followed by all negatives, and any consumer
+// that batches or truncates sees label-sorted data.
+func BalancedIndices(labels []bool, seed int64) []int {
+	var pos, neg []int
+	for i, l := range labels {
+		if l {
+			pos = append(pos, i)
 		} else {
-			neg = append(neg, t)
+			neg = append(neg, i)
 		}
 	}
 	n := len(pos)
@@ -95,45 +141,93 @@ func (c *Corpus) Balanced(label func(*Trace) bool, seed int64) *Corpus {
 	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
 	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
-	out := &Corpus{}
-	out.Traces = append(out.Traces, pos[:n]...)
-	out.Traces = append(out.Traces, neg[:n]...)
+	out := append(append(make([]int, 0, 2*n), pos[:n]...), neg[:n]...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out
 }
 
-// Save writes the corpus as gzip-compressed JSON.
-func (c *Corpus) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+// Balanced returns a label-balanced subset for a binary metric, as the
+// paper does for the classification test sets: equally many positive and
+// negative traces, subsampled and shuffled deterministically.
+func (c *Corpus) Balanced(label func(*Trace) bool, seed int64) *Corpus {
+	labels := make([]bool, len(c.Traces))
+	for i, t := range c.Traces {
+		labels[i] = label(t)
 	}
-	defer f.Close()
-	zw := gzip.NewWriter(f)
-	if err := json.NewEncoder(zw).Encode(c); err != nil {
-		zw.Close()
-		return fmt.Errorf("dataset: encoding corpus: %w", err)
+	out := &Corpus{}
+	for _, j := range BalancedIndices(labels, seed) {
+		out.Traces = append(out.Traces, c.Traces[j])
 	}
-	if err := zw.Close(); err != nil {
-		return err
-	}
-	return f.Close()
+	return out
 }
 
-// Load reads a corpus written by Save.
+// atomicWrite writes a file via temp-file-plus-rename so a crash mid-write
+// never leaves a truncated file at path (the artifact.Save pattern). Shard
+// and manifest writes use the same helper.
+func atomicWrite(path string, write func(w io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".costream-corpus-*")
+	if err != nil {
+		return fmt.Errorf("dataset: creating %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	// CreateTemp opens 0600; corpora are shareable data files, so widen to
+	// the conventional 0644 before publishing.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("dataset: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("dataset: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("dataset: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Save writes the corpus as gzip-compressed JSON, atomically: the file is
+// written to a temp name and renamed into place, so a crash mid-encode
+// never leaves a truncated, unreadable corpus behind.
+func (c *Corpus) Save(path string) error {
+	return atomicWrite(path, func(w io.Writer) error {
+		zw := gzip.NewWriter(w)
+		if err := json.NewEncoder(zw).Encode(c); err != nil {
+			return fmt.Errorf("dataset: encoding corpus: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("dataset: encoding corpus: %w", err)
+		}
+		return nil
+	})
+}
+
+// Load reads a monolithic corpus file written by Save. Compression is
+// sniffed from the gzip magic bytes (like artifact.Load), so both
+// gzip-compressed and plain JSON corpora load. For sharded corpus
+// directories use OpenStore, or Open to sniff between the two layouts.
 func Load(path string) (*Corpus, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	zr, err := gzip.NewReader(f)
-	if err != nil {
-		return nil, fmt.Errorf("dataset: %s is not a corpus file: %w", path, err)
+	br := bufio.NewReader(f)
+	var r io.Reader = br
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s is not a corpus file: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
 	}
-	defer zr.Close()
 	var c Corpus
-	if err := json.NewDecoder(zr).Decode(&c); err != nil {
-		return nil, fmt.Errorf("dataset: decoding corpus: %w", err)
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("dataset: decoding corpus %s: %w", path, err)
 	}
 	return &c, nil
 }
@@ -225,15 +319,16 @@ func buildOne(cfg BuildConfig, i int) (*Trace, error) {
 }
 
 // Stats summarizes label distributions of a corpus, useful for sanity
-// checks and reports.
+// checks and reports. It is JSON-serializable so shard manifests can
+// record per-shard label statistics.
 type Stats struct {
-	N             int
-	SuccessRate   float64
-	BackpressRate float64
-	CrashRate     float64
-	MedianT       float64
-	MedianLpMS    float64
-	MedianLeMS    float64
+	N             int     `json:"n"`
+	SuccessRate   float64 `json:"success_rate"`
+	BackpressRate float64 `json:"backpressure_rate"`
+	CrashRate     float64 `json:"crash_rate"`
+	MedianT       float64 `json:"median_throughput_tps"`
+	MedianLpMS    float64 `json:"median_proc_latency_ms"`
+	MedianLeMS    float64 `json:"median_e2e_latency_ms"`
 }
 
 // Summarize computes corpus statistics.
@@ -272,11 +367,7 @@ func median(xs []float64) float64 {
 		return 0
 	}
 	cp := append([]float64(nil), xs...)
-	for i := 1; i < len(cp); i++ {
-		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
-			cp[j], cp[j-1] = cp[j-1], cp[j]
-		}
-	}
+	sort.Float64s(cp)
 	if len(cp)%2 == 1 {
 		return cp[len(cp)/2]
 	}

@@ -1,6 +1,9 @@
 package dataset
 
 import (
+	"encoding/json"
+	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -110,6 +113,128 @@ func TestBalanced(t *testing.T) {
 	}
 }
 
+// TestBalancedShuffled is the regression test for the label-sorted
+// Balanced bug: the subset must not be all positives followed by all
+// negatives, so consumers that batch or truncate see mixed labels.
+func TestBalancedShuffled(t *testing.T) {
+	c := &Corpus{}
+	for i := 0; i < 200; i++ {
+		c.Traces = append(c.Traces, &Trace{Metrics: &sim.Metrics{Backpressured: i%2 == 0}})
+	}
+	label := func(tr *Trace) bool { return tr.Metrics.Backpressured }
+	b := c.Balanced(label, 4)
+	if b.Len() != 200 {
+		t.Fatalf("balanced len %d, want 200", b.Len())
+	}
+	// The first half must not be label-pure: count positives in it.
+	pos := 0
+	for _, tr := range b.Traces[:b.Len()/2] {
+		if label(tr) {
+			pos++
+		}
+	}
+	if pos == 0 || pos == b.Len()/2 {
+		t.Fatalf("first half of balanced subset is label-pure (%d/%d positive): no final shuffle", pos, b.Len()/2)
+	}
+	// Determinism in the seed.
+	b2 := c.Balanced(label, 4)
+	for i := range b.Traces {
+		if b.Traces[i] != b2.Traces[i] {
+			t.Fatal("Balanced not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestSplitIndicesMatchesSplit(t *testing.T) {
+	c, err := Build(buildCfg(50, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val, test := c.Split(0.8, 0.1, 12)
+	ti, vi, si := SplitIndices(50, 0.8, 0.1, 12)
+	check := func(name string, sub *Corpus, idx []int) {
+		t.Helper()
+		if sub.Len() != len(idx) {
+			t.Fatalf("%s: %d traces vs %d indices", name, sub.Len(), len(idx))
+		}
+		for k, j := range idx {
+			if sub.Traces[k] != c.Traces[j] {
+				t.Fatalf("%s: position %d is not source trace %d", name, k, j)
+			}
+		}
+	}
+	check("train", train, ti)
+	check("val", val, vi)
+	check("test", test, si)
+}
+
+// TestSaveAtomic locks in crash-safe semantics: an existing corpus file is
+// never clobbered by a failed write, and Save leaves no temp debris.
+func TestSaveAtomic(t *testing.T) {
+	c, err := Build(buildCfg(5, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.json.gz")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("Save left %d files in the directory, want 1 (no temp debris)", len(entries))
+	}
+	// A save into an unwritable location must fail without touching the
+	// existing file.
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(filepath.Join(dir, "missing-subdir", "x.json.gz")); err == nil {
+		t.Fatal("save into a missing directory must fail")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed save corrupted an unrelated existing file")
+	}
+}
+
+// TestLoadSniffsPlainJSON verifies Load handles both gzip and uncompressed
+// corpus files, like artifact.Load.
+func TestLoadSniffsPlainJSON(t *testing.T) {
+	c, err := Build(buildCfg(4, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := filepath.Join(t.TempDir(), "c.json.gz")
+	if err := c.Save(gz); err != nil {
+		t.Fatal(err)
+	}
+	// Decompress by loading and re-marshaling through the plain path.
+	loaded, err := Load(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(t.TempDir(), "c.json")
+	data := encodeJSON(t, loaded)
+	if err := os.WriteFile(plain, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Load(plain)
+	if err != nil {
+		t.Fatalf("plain JSON corpus rejected: %v", err)
+	}
+	if c2.Len() != c.Len() {
+		t.Fatalf("plain load got %d traces, want %d", c2.Len(), c.Len())
+	}
+}
+
 func TestSuccessfulFilter(t *testing.T) {
 	c, err := Build(buildCfg(60, 4))
 	if err != nil {
@@ -189,6 +314,43 @@ func TestSummarizeEmpty(t *testing.T) {
 	st := c.Summarize()
 	if st.N != 0 || st.SuccessRate != 0 {
 		t.Error("empty corpus summary must be zero")
+	}
+}
+
+func encodeJSON(t *testing.T, c *Corpus) []byte {
+	t.Helper()
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// syntheticCorpus builds a corpus of n traces with metrics only, enough
+// for Summarize/Balanced benchmarks without running the simulator.
+func syntheticCorpus(n int, seed int64) *Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Corpus{Traces: make([]*Trace, n)}
+	for i := range c.Traces {
+		c.Traces[i] = &Trace{Metrics: &sim.Metrics{
+			Success:       rng.Float64() < 0.8,
+			Backpressured: rng.Float64() < 0.3,
+			ThroughputTPS: rng.Float64() * 1000,
+			ProcLatencyMS: rng.Float64() * 50,
+			E2ELatencyMS:  rng.Float64() * 200,
+		}}
+	}
+	return c
+}
+
+// BenchmarkSummarize guards the O(n log n) median: the previous insertion
+// sort made a 100k-trace summary do ~10^10 comparisons.
+func BenchmarkSummarize(b *testing.B) {
+	c := syntheticCorpus(100_000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Summarize()
 	}
 }
 

@@ -1,0 +1,605 @@
+// Sharded corpus store: a directory of gzip-compressed JSONL shard files
+// plus a JSON manifest. The format exists for production-scale corpora
+// (hundreds of thousands of traces) where the monolithic .json.gz layout
+// makes generation un-resumable and loading the memory ceiling of
+// training:
+//
+//   - StreamBuild writes shards as workers finish them, so a crashed or
+//     interrupted generation run resumes by rebuilding only the missing
+//     shards (the per-trace seed derivation is identical to Build, so a
+//     sharded build of N traces equals Build(N) trace-for-trace no matter
+//     how it was interleaved, resumed or parallelized).
+//   - Store.Iter streams traces one at a time straight off the gzip
+//     readers — O(1) traces of memory regardless of corpus size.
+//   - Merge concatenates stores (e.g. per-scenario builds) into one.
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// ManifestMagic identifies a COSTREAM corpus manifest.
+const ManifestMagic = "costream-corpus"
+
+// ManifestVersion is the current manifest format version. Readers reject
+// other versions rather than guessing at layouts.
+const ManifestVersion = 1
+
+// ManifestName is the manifest's file name inside a store directory.
+const ManifestName = "manifest.json"
+
+// ShardMeta describes one completed shard.
+type ShardMeta struct {
+	// Name is the shard's file name within the store directory.
+	Name string `json:"name"`
+	// Index is the shard's position: shard k holds the traces
+	// [k*ShardSize, min((k+1)*ShardSize, N)).
+	Index int `json:"index"`
+	// Start is the global index of the shard's first trace.
+	Start int `json:"start"`
+	// Count is the number of traces in the shard.
+	Count int `json:"count"`
+	// Stats summarizes the shard's label distribution.
+	Stats Stats `json:"stats"`
+}
+
+// Manifest is the store's metadata document. It is rewritten atomically
+// after every completed shard, so it always describes exactly the shards
+// that exist on disk.
+type Manifest struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	// Seed is the corpus generation seed (BuildConfig.Seed).
+	Seed int64 `json:"seed"`
+	// Scenario names the corpus recipe (see internal/scenario); empty for
+	// ad-hoc builds.
+	Scenario string `json:"scenario,omitempty"`
+	// SimDurationS is the simulated measurement window per trace
+	// (BuildConfig.Sim.DurationS) — part of the recipe, so resumed builds
+	// must match it for old and new shards to agree.
+	SimDurationS float64 `json:"sim_duration_s,omitempty"`
+	// N is the total number of traces the corpus targets. Shards may still
+	// be missing (an interrupted build); Store.Complete reports that.
+	N int `json:"n"`
+	// ShardSize is the number of traces per shard (the last shard may be
+	// smaller).
+	ShardSize int `json:"shard_size"`
+	// Shards lists the completed shards, sorted by Index.
+	Shards []ShardMeta `json:"shards"`
+}
+
+// NumShards returns the total shard count implied by N and ShardSize.
+func (m *Manifest) NumShards() int {
+	if m.ShardSize <= 0 {
+		return 0
+	}
+	return (m.N + m.ShardSize - 1) / m.ShardSize
+}
+
+// shardName returns the canonical file name of shard k.
+func shardName(k int) string { return fmt.Sprintf("shard-%05d.jsonl.gz", k) }
+
+// Store is a sharded corpus directory opened for reading or resuming.
+type Store struct {
+	// Dir is the store directory.
+	Dir string
+	// Manifest is the store's metadata as read from disk (or as last
+	// written by StreamBuild).
+	Manifest Manifest
+}
+
+// OpenStore opens a sharded corpus directory by reading its manifest.
+func OpenStore(dir string) (*Store, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: opening corpus store %s: %w", dir, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("dataset: %s has a malformed manifest: %w", dir, err)
+	}
+	if m.Magic != ManifestMagic {
+		return nil, fmt.Errorf("dataset: %s is not a costream corpus store (magic %q, want %q)", dir, m.Magic, ManifestMagic)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("dataset: %s uses manifest version %d (this build reads version %d)", dir, m.Version, ManifestVersion)
+	}
+	sort.Slice(m.Shards, func(i, j int) bool { return m.Shards[i].Index < m.Shards[j].Index })
+	return &Store{Dir: dir, Manifest: m}, nil
+}
+
+// IsStore reports whether path is a sharded corpus directory (it exists,
+// is a directory, and contains a manifest file).
+func IsStore(path string) bool {
+	if fi, err := os.Stat(path); err != nil || !fi.IsDir() {
+		return false
+	}
+	fi, err := os.Stat(filepath.Join(path, ManifestName))
+	return err == nil && !fi.IsDir()
+}
+
+// Open sniffs the corpus layout at path and opens it: a directory with a
+// manifest loads as a streaming Store, anything else as a legacy
+// monolithic corpus file (gzip or plain JSON, materialized in memory).
+func Open(path string) (Source, error) {
+	if IsStore(path) {
+		return OpenStore(path)
+	}
+	return Load(path)
+}
+
+// Count implements Source: the number of traces the corpus targets.
+func (s *Store) Count() int { return s.Manifest.N }
+
+// tiles reports whether the manifest's shards cover [0, N) contiguously.
+// Stores written by StreamBuild always tile when complete; merged stores
+// tile with heterogeneous shard sizes (the nominal ShardSize does not
+// describe their geometry).
+func (s *Store) tiles() bool {
+	next := 0
+	for _, sh := range s.Manifest.Shards {
+		if sh.Start != next || sh.Count <= 0 {
+			return false
+		}
+		next += sh.Count
+	}
+	return next == s.Manifest.N
+}
+
+// Missing returns the indices of shards an interrupted StreamBuild has
+// not written yet; empty means the store is complete. Completeness is
+// contiguous coverage of [0, N), so merged stores whose shard sizes vary
+// are complete too; the index computation for the incomplete case uses
+// the k*ShardSize build geometry, which is the only way an incomplete
+// store arises.
+func (s *Store) Missing() []int {
+	if s.tiles() {
+		return nil
+	}
+	have := make(map[int]bool, len(s.Manifest.Shards))
+	for _, sh := range s.Manifest.Shards {
+		have[sh.Index] = true
+	}
+	var missing []int
+	for k := 0; k < s.Manifest.NumShards(); k++ {
+		if !have[k] {
+			missing = append(missing, k)
+		}
+	}
+	return missing
+}
+
+// Complete reports whether every shard is present.
+func (s *Store) Complete() bool { return len(s.Missing()) == 0 }
+
+// Iter implements Source: it streams every trace in global index order,
+// decoding one trace at a time off the shard's gzip stream — memory stays
+// O(1) traces regardless of corpus size. It fails if a shard is missing
+// (resume the build first) or a shard holds a different trace count than
+// its manifest entry claims.
+func (s *Store) Iter(fn func(i int, tr *Trace) error) error {
+	if missing := s.Missing(); len(missing) > 0 {
+		return fmt.Errorf("dataset: corpus store %s is incomplete (%d of %d shards missing; resume the build)",
+			s.Dir, len(missing), s.Manifest.NumShards())
+	}
+	for _, sh := range s.Manifest.Shards {
+		if err := s.iterShard(sh, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) iterShard(sh ShardMeta, fn func(i int, tr *Trace) error) error {
+	path := filepath.Join(s.Dir, sh.Name)
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("dataset: opening shard: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(bufio.NewReader(f))
+	if err != nil {
+		return fmt.Errorf("dataset: shard %s is not gzip data: %w", path, err)
+	}
+	defer zr.Close()
+	dec := json.NewDecoder(zr)
+	for n := 0; ; n++ {
+		tr := &Trace{}
+		if err := dec.Decode(tr); err == io.EOF {
+			if n != sh.Count {
+				return fmt.Errorf("dataset: shard %s holds %d traces, manifest says %d", path, n, sh.Count)
+			}
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("dataset: decoding shard %s trace %d: %w", path, n, err)
+		}
+		if n >= sh.Count {
+			return fmt.Errorf("dataset: shard %s holds more traces than the manifest's %d", path, sh.Count)
+		}
+		if err := fn(sh.Start+n, tr); err != nil {
+			return err
+		}
+	}
+}
+
+// Load materializes the whole store into an in-memory Corpus. Prefer Iter
+// for large corpora.
+func (s *Store) Load() (*Corpus, error) {
+	c := &Corpus{Traces: make([]*Trace, 0, s.Count())}
+	err := s.Iter(func(i int, tr *Trace) error {
+		c.Traces = append(c.Traces, tr)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Summarize aggregates the per-shard label stats recorded in the manifest
+// without touching the shard files. Medians are trace-count-weighted means
+// of the shard medians (exact medians would need the full value streams).
+func (s *Store) Summarize() Stats {
+	var out Stats
+	var succ float64
+	for _, sh := range s.Manifest.Shards {
+		n := float64(sh.Count)
+		out.N += sh.Count
+		out.SuccessRate += sh.Stats.SuccessRate * n
+		out.BackpressRate += sh.Stats.BackpressRate * n
+		out.CrashRate += sh.Stats.CrashRate * n
+		sn := sh.Stats.SuccessRate * n
+		succ += sn
+		out.MedianT += sh.Stats.MedianT * sn
+		out.MedianLpMS += sh.Stats.MedianLpMS * sn
+		out.MedianLeMS += sh.Stats.MedianLeMS * sn
+	}
+	if out.N > 0 {
+		n := float64(out.N)
+		out.SuccessRate /= n
+		out.BackpressRate /= n
+		out.CrashRate /= n
+	}
+	if succ > 0 {
+		out.MedianT /= succ
+		out.MedianLpMS /= succ
+		out.MedianLeMS /= succ
+	}
+	return out
+}
+
+// StreamConfig parameterizes StreamBuild on top of a BuildConfig.
+type StreamConfig struct {
+	// Dir is the store directory; created if absent.
+	Dir string
+	// ShardSize is the number of traces per shard. For a fresh build it
+	// must be positive; when resuming it defaults to (and must match) the
+	// existing manifest's.
+	ShardSize int
+	// Scenario names the corpus recipe, recorded in the manifest.
+	Scenario string
+	// Resume keeps shards already listed in the manifest and builds only
+	// the missing ones. Growing BuildConfig.N over the manifest's appends
+	// new shards; the seed and shard size must match the manifest.
+	Resume bool
+	// Progress, when set, receives a line per completed shard.
+	Progress func(format string, args ...any)
+}
+
+// StreamBuild generates a sharded corpus: traces are built in parallel
+// (BuildConfig.Parallelism workers) and each shard is written — atomically,
+// temp file + rename — as soon as its last trace finishes, followed by a
+// manifest update. Every trace derives its generator and simulator seeds
+// exactly as Build does, so the resulting corpus is trace-for-trace
+// identical to Build(cfg) with the same BuildConfig, and a resumed or
+// appended build is indistinguishable from a fresh one.
+func StreamBuild(cfg BuildConfig, sc StreamConfig) (*Store, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("dataset: N must be positive")
+	}
+	if sc.Dir == "" {
+		return nil, fmt.Errorf("dataset: StreamConfig.Dir must be set")
+	}
+	if err := os.MkdirAll(sc.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dataset: creating store %s: %w", sc.Dir, err)
+	}
+	logf := sc.Progress
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	man := Manifest{
+		Magic:        ManifestMagic,
+		Version:      ManifestVersion,
+		Seed:         cfg.Seed,
+		Scenario:     sc.Scenario,
+		SimDurationS: cfg.Sim.DurationS,
+		N:            cfg.N,
+		ShardSize:    sc.ShardSize,
+	}
+	if sc.Resume {
+		if prev, err := OpenStore(sc.Dir); err == nil {
+			if prev.Manifest.Seed != cfg.Seed {
+				return nil, fmt.Errorf("dataset: resume seed mismatch: store %s was built with seed %d, got %d",
+					sc.Dir, prev.Manifest.Seed, cfg.Seed)
+			}
+			if prev.Manifest.SimDurationS != 0 && prev.Manifest.SimDurationS != cfg.Sim.DurationS {
+				return nil, fmt.Errorf("dataset: resume sim-duration mismatch: store %s was built with %gs windows, got %gs",
+					sc.Dir, prev.Manifest.SimDurationS, cfg.Sim.DurationS)
+			}
+			if sc.ShardSize != 0 && sc.ShardSize != prev.Manifest.ShardSize {
+				return nil, fmt.Errorf("dataset: resume shard-size mismatch: store %s uses %d, got %d",
+					sc.Dir, prev.Manifest.ShardSize, sc.ShardSize)
+			}
+			if sc.Scenario != "" && prev.Manifest.Scenario != "" && sc.Scenario != prev.Manifest.Scenario {
+				return nil, fmt.Errorf("dataset: resume scenario mismatch: store %s holds %q, got %q",
+					sc.Dir, prev.Manifest.Scenario, sc.Scenario)
+			}
+			man.ShardSize = prev.Manifest.ShardSize
+			if man.Scenario == "" {
+				man.Scenario = prev.Manifest.Scenario
+			}
+			if cfg.N < prev.Manifest.N {
+				return nil, fmt.Errorf("dataset: resume cannot shrink the corpus: store %s targets %d traces, got %d",
+					sc.Dir, prev.Manifest.N, cfg.N)
+			}
+			// A resumable store's shards all sit on the k*ShardSize grid
+			// of its own manifest (only the final shard of prev.N may be
+			// partial). Anything else was produced by Merge: rebuilding
+			// its shards would silently overwrite the merged traces with
+			// seed-derived ones, so refuse instead.
+			for _, sh := range prev.Manifest.Shards {
+				start := sh.Index * prev.Manifest.ShardSize
+				want := min(start+prev.Manifest.ShardSize, prev.Manifest.N) - start
+				if sh.Start != start || sh.Count != want {
+					return nil, fmt.Errorf("dataset: store %s shard %s (start %d, %d traces) is off the shard-size-%d grid (a merged store?); it cannot be resumed or appended to",
+						sc.Dir, sh.Name, sh.Start, sh.Count, prev.Manifest.ShardSize)
+				}
+			}
+			// Keep only shards whose files still exist and whose trace
+			// count matches what their index requires under the (possibly
+			// grown) corpus; anything else — i.e. a previously-final
+			// partial shard that appending made interior — is rebuilt.
+			for _, sh := range prev.Manifest.Shards {
+				start := sh.Index * man.ShardSize
+				want := min(start+man.ShardSize, man.N) - start
+				if sh.Index >= man.NumShards() || sh.Count != want || sh.Start != start {
+					continue
+				}
+				if _, err := os.Stat(filepath.Join(sc.Dir, sh.Name)); err != nil {
+					continue
+				}
+				man.Shards = append(man.Shards, sh)
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	if man.ShardSize <= 0 {
+		return nil, fmt.Errorf("dataset: StreamConfig.ShardSize must be positive for a fresh build")
+	}
+
+	st := &Store{Dir: sc.Dir, Manifest: man}
+	missing := st.Missing()
+	if len(missing) == 0 {
+		logf("store %s already complete (%d traces in %d shards)", sc.Dir, man.N, man.NumShards())
+		return st, writeManifest(sc.Dir, &st.Manifest)
+	}
+	logf("building %d of %d shards (%d traces, shard size %d)", len(missing), man.NumShards(), man.N, man.ShardSize)
+
+	// Shard completion tracking: per-shard trace buffers filled by the
+	// trace workers; the worker that completes a shard's last trace writes
+	// the shard and updates the manifest.
+	type pending struct {
+		traces    []*Trace
+		remaining int
+	}
+	pend := make(map[int]*pending, len(missing))
+	var todo []int // global trace indices to build
+	for _, k := range missing {
+		start := k * man.ShardSize
+		end := min(start+man.ShardSize, man.N)
+		pend[k] = &pending{traces: make([]*Trace, end-start), remaining: end - start}
+		for i := start; i < end; i++ {
+			todo = append(todo, i)
+		}
+	}
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		mu       sync.Mutex // guards pend, st.Manifest and firstErr
+		firstErr error
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, workers)
+	)
+	for _, i := range todo {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			mu.Lock()
+			abort := firstErr != nil
+			mu.Unlock()
+			if abort {
+				return
+			}
+			tr, err := buildOne(cfg, i)
+			k := i / man.ShardSize
+			mu.Lock()
+			if firstErr != nil {
+				mu.Unlock()
+				return
+			}
+			if err != nil {
+				firstErr = fmt.Errorf("dataset: trace %d: %w", i, err)
+				mu.Unlock()
+				return
+			}
+			p := pend[k]
+			p.traces[i-k*man.ShardSize] = tr
+			p.remaining--
+			if p.remaining > 0 {
+				mu.Unlock()
+				return
+			}
+			// Shard complete: detach its trace buffer and write it outside
+			// the lock so other workers keep generating; only the manifest
+			// update is serialized.
+			delete(pend, k)
+			traces := p.traces
+			mu.Unlock()
+
+			meta, err := writeShard(sc.Dir, k, k*man.ShardSize, traces)
+
+			mu.Lock()
+			defer mu.Unlock()
+			if firstErr != nil {
+				return
+			}
+			if err != nil {
+				firstErr = err
+				return
+			}
+			st.Manifest.Shards = append(st.Manifest.Shards, meta)
+			sort.Slice(st.Manifest.Shards, func(a, b int) bool {
+				return st.Manifest.Shards[a].Index < st.Manifest.Shards[b].Index
+			})
+			if err := writeManifest(sc.Dir, &st.Manifest); err != nil {
+				firstErr = err
+				return
+			}
+			logf("shard %s done (%d/%d shards, %d traces)", meta.Name, len(st.Manifest.Shards), st.Manifest.NumShards(), meta.Count)
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return st, nil
+}
+
+// writeShard persists one shard as gzip JSONL (one trace per line),
+// atomically, and returns its manifest entry.
+func writeShard(dir string, index, start int, traces []*Trace) (ShardMeta, error) {
+	meta := ShardMeta{
+		Name:  shardName(index),
+		Index: index,
+		Start: start,
+		Count: len(traces),
+		Stats: (&Corpus{Traces: traces}).Summarize(),
+	}
+	path := filepath.Join(dir, meta.Name)
+	err := atomicWrite(path, func(w io.Writer) error {
+		zw := gzip.NewWriter(w)
+		enc := json.NewEncoder(zw)
+		for _, tr := range traces {
+			if err := enc.Encode(tr); err != nil {
+				return fmt.Errorf("dataset: encoding shard %s: %w", path, err)
+			}
+		}
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("dataset: encoding shard %s: %w", path, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return ShardMeta{}, err
+	}
+	return meta, nil
+}
+
+// writeManifest persists the manifest atomically.
+func writeManifest(dir string, m *Manifest) error {
+	return atomicWrite(filepath.Join(dir, ManifestName), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(m); err != nil {
+			return fmt.Errorf("dataset: encoding manifest: %w", err)
+		}
+		return nil
+	})
+}
+
+// Merge concatenates complete source stores into a new store at dst, in
+// argument order: shard files are copied verbatim and renumbered, global
+// trace indices rebased, and per-shard stats preserved. The merged
+// manifest keeps the seed and scenario only when all sources agree
+// (otherwise 0 / "merged"), and adopts the first source's shard size as
+// the nominal one (per-shard counts are authoritative).
+func Merge(dst string, srcs ...*Store) (*Store, error) {
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("dataset: Merge needs at least one source store")
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return nil, fmt.Errorf("dataset: creating store %s: %w", dst, err)
+	}
+	man := Manifest{
+		Magic:        ManifestMagic,
+		Version:      ManifestVersion,
+		Seed:         srcs[0].Manifest.Seed,
+		Scenario:     srcs[0].Manifest.Scenario,
+		SimDurationS: srcs[0].Manifest.SimDurationS,
+		ShardSize:    srcs[0].Manifest.ShardSize,
+	}
+	for _, s := range srcs[1:] {
+		if s.Manifest.Seed != man.Seed {
+			man.Seed = 0
+		}
+		if s.Manifest.Scenario != man.Scenario {
+			man.Scenario = "merged"
+		}
+		if s.Manifest.SimDurationS != man.SimDurationS {
+			man.SimDurationS = 0
+		}
+	}
+	next := 0
+	for _, s := range srcs {
+		if !s.Complete() {
+			return nil, fmt.Errorf("dataset: Merge source %s is incomplete", s.Dir)
+		}
+		for _, sh := range s.Manifest.Shards {
+			meta := sh
+			meta.Index = next
+			meta.Name = shardName(next)
+			meta.Start = man.N
+			if err := copyFile(filepath.Join(dst, meta.Name), filepath.Join(s.Dir, sh.Name)); err != nil {
+				return nil, err
+			}
+			man.Shards = append(man.Shards, meta)
+			man.N += sh.Count
+			next++
+		}
+	}
+	if err := writeManifest(dst, &man); err != nil {
+		return nil, err
+	}
+	return &Store{Dir: dst, Manifest: man}, nil
+}
+
+func copyFile(dst, src string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return fmt.Errorf("dataset: merging shard: %w", err)
+	}
+	defer in.Close()
+	return atomicWrite(dst, func(w io.Writer) error {
+		if _, err := io.Copy(w, in); err != nil {
+			return fmt.Errorf("dataset: merging shard %s: %w", src, err)
+		}
+		return nil
+	})
+}

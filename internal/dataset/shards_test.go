@@ -1,0 +1,410 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// equalTraces asserts two traces carry the same query shape, placement and
+// measured metrics (the fields that define corpus identity).
+func equalTraces(t *testing.T, i int, a, b *Trace) {
+	t.Helper()
+	if len(a.Query.Ops) != len(b.Query.Ops) {
+		t.Fatalf("trace %d: op count %d vs %d", i, len(a.Query.Ops), len(b.Query.Ops))
+	}
+	if len(a.Placement) != len(b.Placement) {
+		t.Fatalf("trace %d: placement length differs", i)
+	}
+	for j := range a.Placement {
+		if a.Placement[j] != b.Placement[j] {
+			t.Fatalf("trace %d: placement[%d] = %d vs %d", i, j, a.Placement[j], b.Placement[j])
+		}
+	}
+	am, bm := a.Metrics, b.Metrics
+	if am.ThroughputTPS != bm.ThroughputTPS || am.ProcLatencyMS != bm.ProcLatencyMS ||
+		am.E2ELatencyMS != bm.E2ELatencyMS || am.Success != bm.Success ||
+		am.Backpressured != bm.Backpressured || am.Crashed != bm.Crashed {
+		t.Fatalf("trace %d: metrics differ: %+v vs %+v", i, am, bm)
+	}
+}
+
+func TestStreamBuildMatchesBuild(t *testing.T) {
+	cfg := buildCfg(23, 11)
+	want, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st, err := StreamBuild(cfg, StreamConfig{Dir: dir, ShardSize: 5, Scenario: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Complete() {
+		t.Fatal("fresh StreamBuild left missing shards")
+	}
+	if st.Manifest.NumShards() != 5 {
+		t.Fatalf("NumShards = %d, want 5", st.Manifest.NumShards())
+	}
+	got := 0
+	err = st.Iter(func(i int, tr *Trace) error {
+		if i != got {
+			t.Fatalf("Iter index %d, want %d (global order broken)", i, got)
+		}
+		equalTraces(t, i, want.Traces[i], tr)
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg.N {
+		t.Fatalf("Iter visited %d traces, want %d", got, cfg.N)
+	}
+	// Reopening reads the same manifest.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Count() != cfg.N || st2.Manifest.Seed != cfg.Seed || st2.Manifest.Scenario != "test" {
+		t.Fatalf("reopened manifest differs: %+v", st2.Manifest)
+	}
+	// Per-shard metadata adds up.
+	total := 0
+	for k, sh := range st2.Manifest.Shards {
+		if sh.Index != k || sh.Start != total {
+			t.Fatalf("shard %d: index/start %d/%d, want %d/%d", k, sh.Index, sh.Start, k, total)
+		}
+		if sh.Stats.N != sh.Count {
+			t.Fatalf("shard %d: stats over %d traces, want %d", k, sh.Stats.N, sh.Count)
+		}
+		total += sh.Count
+	}
+	if total != cfg.N {
+		t.Fatalf("shard counts sum to %d, want %d", total, cfg.N)
+	}
+}
+
+func TestStreamBuildResumeRebuildsOnlyMissing(t *testing.T) {
+	cfg := buildCfg(18, 13)
+	dir := t.TempDir()
+	st, err := StreamBuild(cfg, StreamConfig{Dir: dir, ShardSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash that lost the last shard: delete its file and its
+	// manifest entry.
+	lost := st.Manifest.Shards[len(st.Manifest.Shards)-1]
+	if err := os.Remove(filepath.Join(dir, lost.Name)); err != nil {
+		t.Fatal(err)
+	}
+	st.Manifest.Shards = st.Manifest.Shards[:len(st.Manifest.Shards)-1]
+	if err := writeManifest(dir, &st.Manifest); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Missing(); len(got) != 1 || got[0] != lost.Index {
+		t.Fatalf("Missing = %v, want [%d]", got, lost.Index)
+	}
+	if _, err := re.Load(); err == nil {
+		t.Fatal("loading an incomplete store must fail")
+	}
+
+	// Resume: untouched shard files must not be rewritten (same mtime),
+	// the lost one must reappear with identical content.
+	kept := filepath.Join(dir, st.Manifest.Shards[0].Name)
+	before, err := os.Stat(kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := StreamBuild(cfg, StreamConfig{Dir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) || after.Size() != before.Size() {
+		t.Fatal("resume rewrote a shard that was already present")
+	}
+	got, err := st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Traces {
+		equalTraces(t, i, want.Traces[i], got.Traces[i])
+	}
+}
+
+func TestStreamBuildResumeMismatchRejected(t *testing.T) {
+	cfg := buildCfg(8, 3)
+	dir := t.TempDir()
+	if _, err := StreamBuild(cfg, StreamConfig{Dir: dir, ShardSize: 4, Scenario: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Seed = 99
+	if _, err := StreamBuild(bad, StreamConfig{Dir: dir, Resume: true}); err == nil {
+		t.Error("resume with a different seed accepted")
+	}
+	if _, err := StreamBuild(cfg, StreamConfig{Dir: dir, ShardSize: 3, Resume: true}); err == nil {
+		t.Error("resume with a different shard size accepted")
+	}
+	if _, err := StreamBuild(cfg, StreamConfig{Dir: dir, Scenario: "b", Resume: true}); err == nil {
+		t.Error("resume with a different scenario accepted")
+	}
+	smaller := cfg
+	smaller.N = 4
+	if _, err := StreamBuild(smaller, StreamConfig{Dir: dir, Resume: true}); err == nil {
+		t.Error("resume that shrinks the corpus accepted")
+	}
+}
+
+func TestStreamBuildAppendEqualsFreshBuild(t *testing.T) {
+	cfg := buildCfg(10, 17)
+	dir := t.TempDir()
+	if _, err := StreamBuild(cfg, StreamConfig{Dir: dir, ShardSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Append 7 traces: the old final partial shard (2 traces) must be
+	// rebuilt to a full one, and the corpus must equal a fresh 17-trace
+	// build trace-for-trace.
+	grown := cfg
+	grown.N = 17
+	st, err := StreamBuild(grown, StreamConfig{Dir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Build(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 17 {
+		t.Fatalf("appended store holds %d traces, want 17", got.Len())
+	}
+	for i := range want.Traces {
+		equalTraces(t, i, want.Traces[i], got.Traces[i])
+	}
+}
+
+func TestMergeStores(t *testing.T) {
+	cfgA := buildCfg(7, 21)
+	cfgB := buildCfg(5, 22)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, err := StreamBuild(cfgA, StreamConfig{Dir: dirA, ShardSize: 3, Scenario: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StreamBuild(cfgB, StreamConfig{Dir: dirB, ShardSize: 2, Scenario: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(t.TempDir(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count() != 12 {
+		t.Fatalf("merged count %d, want 12", merged.Count())
+	}
+	if merged.Manifest.Scenario != "merged" || merged.Manifest.Seed != 0 {
+		t.Fatalf("merged manifest should clear mixed seed/scenario, got %+v", merged.Manifest)
+	}
+	ca, err := a.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTraces := append(append([]*Trace{}, ca.Traces...), cb.Traces...)
+	got, err := merged.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantTraces {
+		equalTraces(t, i, wantTraces[i], got.Traces[i])
+	}
+}
+
+// TestMergeHeterogeneousShardSizes is the regression test for merged
+// stores whose first source has a smaller shard size than the others:
+// completeness must follow contiguous trace coverage, not the nominal
+// ShardSize geometry, or the merged store reads as incomplete.
+func TestMergeHeterogeneousShardSizes(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, err := StreamBuild(buildCfg(4, 61), StreamConfig{Dir: dirA, ShardSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StreamBuild(buildCfg(10, 62), StreamConfig{Dir: dirB, ShardSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(t.TempDir(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing := merged.Missing(); len(missing) != 0 {
+		t.Fatalf("merged store reads as incomplete: Missing = %v", missing)
+	}
+	got, err := merged.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 14 {
+		t.Fatalf("merged store holds %d traces, want 14", got.Len())
+	}
+	// Reopening from disk must agree.
+	re, err := OpenStore(merged.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Complete() {
+		t.Fatal("reopened merged store reads as incomplete")
+	}
+	// Resuming or appending to a merged store must be refused, never
+	// silently rebuild (= overwrite) its off-grid shards.
+	grow := buildCfg(20, merged.Manifest.Seed)
+	if _, err := StreamBuild(grow, StreamConfig{Dir: merged.Dir, Resume: true}); err == nil {
+		t.Fatal("resume of a merged store accepted; would overwrite merged shards")
+	}
+}
+
+func TestOpenSniffsLayout(t *testing.T) {
+	cfg := buildCfg(6, 31)
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Legacy monolithic gzip file.
+	file := filepath.Join(t.TempDir(), "corpus.json.gz")
+	if err := c.Save(file); err != nil {
+		t.Fatal(err)
+	}
+	src, err := Open(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := src.(*Corpus); !ok || src.Count() != 6 {
+		t.Fatalf("Open(file) = %T count %d, want *Corpus count 6", src, src.Count())
+	}
+	// Sharded directory.
+	dir := t.TempDir()
+	if _, err := StreamBuild(cfg, StreamConfig{Dir: dir, ShardSize: 2}); err != nil {
+		t.Fatal(err)
+	}
+	src, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := src.(*Store)
+	if !ok || st.Count() != 6 {
+		t.Fatalf("Open(dir) = %T count %d, want *Store count 6", src, src.Count())
+	}
+	// Both iterate identically.
+	want := c.Traces
+	if err := st.Iter(func(i int, tr *Trace) error { equalTraces(t, i, want[i], tr); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(filepath.Join(dir, "nope")); err == nil {
+		t.Error("Open of a missing path must fail")
+	}
+}
+
+func TestStoreSummarizeAggregatesShards(t *testing.T) {
+	cfg := buildCfg(20, 41)
+	dir := t.TempDir()
+	st, err := StreamBuild(cfg, StreamConfig{Dir: dir, ShardSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := c.Summarize(), st.Summarize()
+	if got.N != want.N {
+		t.Fatalf("Summarize N = %d, want %d", got.N, want.N)
+	}
+	// Rates aggregate exactly (weighted means of exact shard rates).
+	if diff := got.SuccessRate - want.SuccessRate; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("SuccessRate %v, want %v", got.SuccessRate, want.SuccessRate)
+	}
+	if diff := got.CrashRate - want.CrashRate; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("CrashRate %v, want %v", got.CrashRate, want.CrashRate)
+	}
+}
+
+// TestIterBoundedMemory is the shard store's core promise: streaming a
+// corpus retains O(one trace), not O(corpus). It builds a store, measures
+// retained heap while holding the fully-materialized corpus, then measures
+// retained heap growth during a streaming pass and requires it to be far
+// below the materialized footprint.
+func TestIterBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory-profiled iteration is slow")
+	}
+	cfg := buildCfg(300, 51)
+	dir := t.TempDir()
+	st, err := StreamBuild(cfg, StreamConfig{Dir: dir, ShardSize: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	heap := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	base := heap()
+	corpus, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCorpus := heap()
+	materialized := int64(withCorpus) - int64(base)
+	if corpus.Len() != 300 {
+		t.Fatal("bad corpus")
+	}
+	corpus = nil
+	_ = corpus
+
+	base = heap()
+	var peak int64
+	n := 0
+	err = st.Iter(func(i int, tr *Trace) error {
+		n++
+		if n%100 == 0 { // sample retained heap mid-stream
+			if d := int64(heap()) - int64(base); d > peak {
+				peak = d
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if materialized < 256<<10 {
+		t.Skipf("corpus too small to measure (%d bytes)", materialized)
+	}
+	if peak > materialized/4 {
+		t.Errorf("streaming retained %d bytes mid-pass; materialized corpus is %d (want < 1/4)", peak, materialized)
+	}
+	t.Logf("materialized %d bytes, streaming peak %d bytes", materialized, peak)
+}

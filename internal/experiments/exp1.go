@@ -7,9 +7,9 @@ import (
 	"costream/internal/core"
 	"costream/internal/dataset"
 	"costream/internal/qerror"
+	"costream/internal/scenario"
 	"costream/internal/sim"
 	"costream/internal/stream"
-	"costream/internal/workload"
 )
 
 // Exp1Result reproduces Table III: overall q-errors and accuracies on the
@@ -194,15 +194,9 @@ func (s *Suite) Exp1QueryTypes() (*Exp1QueryTypesResult, error) {
 	for ci, class := range classes {
 		class := class
 		eval, err := s.corpus("querytype/"+class.String(), func() (*dataset.Corpus, error) {
-			return dataset.Build(dataset.BuildConfig{
-				N:    s.evalN(),
-				Seed: 3000 + int64(ci),
-				Gen:  workload.DefaultConfig(3000 + int64(ci)),
-				Sim:  s.simConfig(),
-				QueryFn: func(g *workload.Generator, i int) *stream.Query {
-					return g.QueryOfClass(class)
-				},
-			})
+			cfg := scenario.QueryClassConfig(s.evalN(), 3000+int64(ci), class)
+			cfg.Sim = s.simConfig()
+			return dataset.Build(cfg)
 		})
 		if err != nil {
 			return nil, err

@@ -193,7 +193,7 @@ func (s *Suite) Exp2bMonitoring() (*Exp2bResult, error) {
 			if err != nil {
 				continue
 			}
-			steps, err := placement.OnlineMonitoring(rng, q, cluster, initial, mcfg)
+			steps, err := placement.OnlineMonitoring(q, cluster, initial, mcfg)
 			if err != nil {
 				return nil, err
 			}

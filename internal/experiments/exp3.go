@@ -3,8 +3,6 @@ package experiments
 import (
 	"costream/internal/core"
 	"costream/internal/dataset"
-	"costream/internal/hardware"
-	"costream/internal/workload"
 )
 
 // Exp3Result reproduces Table IV: interpolation to hardware configurations
@@ -14,17 +12,11 @@ type Exp3Result struct {
 }
 
 // Exp3Interpolation evaluates the base models on queries executed on the
-// unseen in-range hardware grid of Table IV-A.
+// unseen in-range hardware grid of Table IV-A, drawn from the
+// "interpolation-hw" scenario of the registry.
 func (s *Suite) Exp3Interpolation() (*Exp3Result, error) {
 	eval, err := s.corpus("interpolation", func() (*dataset.Corpus, error) {
-		gen := workload.DefaultConfig(4100)
-		gen.HW = hardware.InterpolationGrid()
-		return dataset.Build(dataset.BuildConfig{
-			N:    s.evalN(),
-			Seed: 4100,
-			Gen:  gen,
-			Sim:  s.simConfig(),
-		})
+		return s.scenarioCorpus("interpolation-hw", s.evalN(), 4100)
 	})
 	if err != nil {
 		return nil, err

@@ -7,8 +7,7 @@ import (
 	"costream/internal/core"
 	"costream/internal/dataset"
 	"costream/internal/gnn"
-	"costream/internal/stream"
-	"costream/internal/workload"
+	"costream/internal/scenario"
 )
 
 // ChainGroup is one column of Table VI-A: prediction quality on filter
@@ -25,16 +24,9 @@ type Exp5aResult struct {
 
 func (s *Suite) chainCorpus(n int) (*dataset.Corpus, error) {
 	return s.corpus(fmt.Sprintf("chains/%d", n), func() (*dataset.Corpus, error) {
-		seed := 6000 + int64(n)
-		return dataset.Build(dataset.BuildConfig{
-			N:    s.evalN(),
-			Seed: seed,
-			Gen:  workload.DefaultConfig(seed),
-			Sim:  s.simConfig(),
-			QueryFn: func(g *workload.Generator, i int) *stream.Query {
-				return g.FilterChain(n)
-			},
-		})
+		cfg := scenario.FilterChainConfig(s.evalN(), 6000+int64(n), n)
+		cfg.Sim = s.simConfig()
+		return dataset.Build(cfg)
 	})
 }
 
@@ -111,16 +103,10 @@ func (s *Suite) Exp5bFineTuning() (*Exp5bResult, error) {
 		return nil, err
 	}
 	ftN := s.scaled(300, 60)
+	// The "filter-chains" registry scenario cycles chain lengths 2-4 by
+	// trace index, exactly the fine-tuning mix of the paper.
 	ftCorpus, err := s.corpus("chains/finetune", func() (*dataset.Corpus, error) {
-		return dataset.Build(dataset.BuildConfig{
-			N:    ftN,
-			Seed: 6500,
-			Gen:  workload.DefaultConfig(6500),
-			Sim:  s.simConfig(),
-			QueryFn: func(g *workload.Generator, i int) *stream.Query {
-				return g.FilterChain(2 + i%3)
-			},
-		})
+		return s.scenarioCorpus("filter-chains", ftN, 6500)
 	})
 	if err != nil {
 		return nil, err

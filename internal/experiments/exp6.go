@@ -3,7 +3,7 @@ package experiments
 import (
 	"costream/internal/core"
 	"costream/internal/dataset"
-	"costream/internal/stream"
+	"costream/internal/scenario"
 	"costream/internal/workload"
 )
 
@@ -27,16 +27,9 @@ func (s *Suite) Exp6Benchmarks() (*Exp6Result, error) {
 	for bi, id := range workload.AllBenchmarks() {
 		id := id
 		eval, err := s.corpus("benchmark/"+id.String(), func() (*dataset.Corpus, error) {
-			seed := 7000 + int64(bi)
-			return dataset.Build(dataset.BuildConfig{
-				N:    s.evalN(),
-				Seed: seed,
-				Gen:  workload.DefaultConfig(seed),
-				Sim:  s.simConfig(),
-				QueryFn: func(g *workload.Generator, i int) *stream.Query {
-					return g.BenchmarkQuery(id)
-				},
-			})
+			cfg := scenario.BenchmarkConfig(s.evalN(), 7000+int64(bi), id)
+			cfg.Sim = s.simConfig()
+			return dataset.Build(cfg)
 		})
 		if err != nil {
 			return nil, err

@@ -17,8 +17,8 @@ import (
 	"costream/internal/flatvec"
 	"costream/internal/gbdt"
 	"costream/internal/placement"
+	"costream/internal/scenario"
 	"costream/internal/sim"
-	"costream/internal/workload"
 )
 
 // ScaleFromEnv reads COSTREAM_SCALE (default 1.0). Corpus sizes, query
@@ -151,15 +151,24 @@ func (s *Suite) corpus(name string, build func() (*dataset.Corpus, error)) (*dat
 	})
 }
 
-// BaseCorpus is the main training benchmark (Section VI distribution).
+// scenarioCorpus builds an n-trace corpus from a named scenario recipe
+// with the suite's simulator configuration.
+func (s *Suite) scenarioCorpus(name string, n int, seed int64) (*dataset.Corpus, error) {
+	sc, err := scenario.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sc.Make(n, seed)
+	cfg.Sim = s.simConfig()
+	return dataset.Build(cfg)
+}
+
+// BaseCorpus is the main training benchmark (Section VI distribution),
+// drawn from the "training" scenario of the registry.
 func (s *Suite) BaseCorpus() (*dataset.Corpus, error) {
 	return s.corpus("base", func() (*dataset.Corpus, error) {
-		return dataset.Build(dataset.BuildConfig{
-			N:    s.baseN(),
-			Seed: 20240313, // arXiv submission date of the paper
-			Gen:  workload.DefaultConfig(20240313),
-			Sim:  s.simConfig(),
-		})
+		// Seed: arXiv submission date of the paper.
+		return s.scenarioCorpus("training", s.baseN(), 20240313)
 	})
 }
 

@@ -1,7 +1,7 @@
 package placement
 
 import (
-	"math/rand"
+	"sort"
 
 	"costream/internal/hardware"
 	"costream/internal/sim"
@@ -45,7 +45,11 @@ type MonitorStep struct {
 // least loaded feasible host, paying monitoring and migration overhead per
 // round. The trajectory of placements and metrics is returned, first entry
 // being the initial placement at time 0.
-func OnlineMonitoring(rng *rand.Rand, q *stream.Query, c *hardware.Cluster, initial sim.Placement, cfg MonitorConfig) ([]MonitorStep, error) {
+//
+// The monitor itself draws no randomness: given the simulator seed in
+// cfg.SimCfg the trajectory is fully deterministic (the greedy move
+// selection breaks ties by operator/host index).
+func OnlineMonitoring(q *stream.Query, c *hardware.Cluster, initial sim.Placement, cfg MonitorConfig) ([]MonitorStep, error) {
 	cur := append(sim.Placement(nil), initial...)
 	m, err := sim.Run(q, c, cur, cfg.SimCfg)
 	if err != nil {
@@ -79,7 +83,6 @@ func OnlineMonitoring(rng *rand.Rand, q *stream.Query, c *hardware.Cluster, init
 		}
 		steps = append(steps, MonitorStep{Placement: next, Metrics: nm, ElapsedS: elapsed})
 	}
-	_ = rng
 	return steps, nil
 }
 
@@ -105,26 +108,25 @@ func rebalanceOnce(q *stream.Query, c *hardware.Cluster, p sim.Placement, m *sim
 	for i := range q.Ops {
 		util[p[i]] += m.PerOp[i].CPUUtil
 	}
-	// Operators ordered by CPU consumption descending (hungriest first).
+	// Operators ordered by CPU consumption descending (hungriest first);
+	// stable sort keeps ties in operator-index order, matching the
+	// insertion sort this replaces.
 	ops := make([]int, len(q.Ops))
 	for i := range ops {
 		ops[i] = i
 	}
-	for i := 1; i < len(ops); i++ {
-		for j := i; j > 0 && m.PerOp[ops[j]].CPUUtil > m.PerOp[ops[j-1]].CPUUtil; j-- {
-			ops[j], ops[j-1] = ops[j-1], ops[j]
-		}
-	}
-	// Candidate targets ordered by utilization ascending.
+	sort.SliceStable(ops, func(a, b int) bool {
+		return m.PerOp[ops[a]].CPUUtil > m.PerOp[ops[b]].CPUUtil
+	})
+	// Candidate targets ordered by utilization ascending, ties by host
+	// index.
 	order := make([]int, nHosts)
 	for i := range order {
 		order[i] = i
 	}
-	for i := 1; i < nHosts; i++ {
-		for j := i; j > 0 && util[order[j]] < util[order[j-1]]; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
-		}
-	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return util[order[a]] < util[order[b]]
+	})
 	for _, op := range ops {
 		for _, target := range order {
 			if target == p[op] || banned[[2]int{op, target}] {

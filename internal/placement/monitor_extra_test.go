@@ -20,7 +20,7 @@ func TestMonitoringTerminatesAndTracksTime(t *testing.T) {
 	cfg := sim.DefaultConfig()
 	cfg.DurationS, cfg.WarmupS = 15, 3
 	mcfg := MonitorConfig{IntervalS: 10, MigrationCostS: 5, MaxSteps: 6, SimCfg: cfg}
-	steps, err := OnlineMonitoring(rng, q, c, initial, mcfg)
+	steps, err := OnlineMonitoring(q, c, initial, mcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,6 @@ func TestMonitoringTerminatesAndTracksTime(t *testing.T) {
 
 func TestMonitoringRevertedMovesAreNotRepeated(t *testing.T) {
 	// With a single host no move is possible: exactly one step.
-	rng := rand.New(rand.NewSource(12))
 	q := testQuery()
 	c := &hardware.Cluster{Hosts: []*hardware.Host{
 		{ID: "solo", CPU: 800, RAMMB: 32000, NetLatencyMS: 1, NetBandwidthMbps: 10000},
@@ -47,7 +46,7 @@ func TestMonitoringRevertedMovesAreNotRepeated(t *testing.T) {
 	initial := sim.Placement{0, 0, 0, 0, 0}
 	cfg := sim.DefaultConfig()
 	cfg.DurationS, cfg.WarmupS = 10, 2
-	steps, err := OnlineMonitoring(rng, q, c, initial, DefaultMonitorConfig(cfg))
+	steps, err := OnlineMonitoring(q, c, initial, DefaultMonitorConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,3 +132,40 @@ func TestSimOracleMatchesSim(t *testing.T) {
 }
 
 var _ = stream.Query{}
+
+// TestMonitoringDeterministic: OnlineMonitoring draws no randomness of its
+// own (the rng parameter it once took was unused) — the trajectory is a
+// pure function of the query, cluster, initial placement and sim seed.
+func TestMonitoringDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	q := testQuery()
+	c := testCluster()
+	initial, err := RandomValid(rng, q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.DurationS, cfg.WarmupS = 10, 2
+	mcfg := MonitorConfig{IntervalS: 10, MigrationCostS: 5, MaxSteps: 4, SimCfg: cfg}
+	a, err := OnlineMonitoring(q, c, initial, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OnlineMonitoring(q, c, initial, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trajectory lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ElapsedS != b[i].ElapsedS {
+			t.Fatalf("step %d elapsed differs", i)
+		}
+		for j := range a[i].Placement {
+			if a[i].Placement[j] != b[i].Placement[j] {
+				t.Fatalf("step %d placement differs", i)
+			}
+		}
+	}
+}

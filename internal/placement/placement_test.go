@@ -232,7 +232,7 @@ func TestOnlineMonitoringImproves(t *testing.T) {
 	cfg := sim.DefaultConfig()
 	cfg.DurationS, cfg.WarmupS = 20, 4
 	mcfg := DefaultMonitorConfig(cfg)
-	steps, err := OnlineMonitoring(rng, q, c, initial, mcfg)
+	steps, err := OnlineMonitoring(q, c, initial, mcfg)
 	if err != nil {
 		t.Fatal(err)
 	}

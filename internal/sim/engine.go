@@ -288,23 +288,42 @@ func (e *engine) run() *Metrics {
 			}
 			proc := math.Min(processed[i], avail)
 
-			// Blocking: emission limited by downstream queue space.
+			// Blocking: emission is broadcast to every downstream, so it
+			// is limited by the tightest downstream queue — consulting
+			// only the first downstream would under-charge backpressure
+			// on fan-out plans.
 			downs := e.q.Downstream(i)
 			if len(downs) > 0 && e.outRatio[i] > 0 {
-				free := queueCapTuples - e.queue[downs[0]]
-				if free < 0 {
-					free = 0
+				minFree := math.Inf(1)
+				for _, d := range downs {
+					free := queueCapTuples - e.queue[d]
+					if free < 0 {
+						free = 0
+					}
+					if free < minFree {
+						minFree = free
+					}
 				}
-				maxProc := free / e.outRatio[i]
+				maxProc := minFree / e.outRatio[i]
 				if proc > maxProc {
 					proc = maxProc
 				}
 			}
-			// Network: cross-host emission consumes sender bandwidth.
+			// Network: every cross-host downstream consumes sender
+			// bandwidth separately (one copy of the stream per remote
+			// consumer). For the paper's tree-shaped plans (exactly one
+			// consumer, enforced by Query.Validate) this reduces exactly
+			// to the single-edge charge.
 			if len(downs) > 0 {
-				src, dst := e.p[i], e.p[downs[0]]
-				if src != dst {
-					bits := proc * e.outRatio[i] * e.rates.TupleBytes[i] * bitsPerByte
+				src := e.p[i]
+				remote := 0
+				for _, d := range downs {
+					if e.p[d] != src {
+						remote++
+					}
+				}
+				if remote > 0 {
+					bits := proc * e.outRatio[i] * e.rates.TupleBytes[i] * bitsPerByte * float64(remote)
 					if bits > netBudget[src] {
 						scale := 0.0
 						if bits > 0 {
