@@ -464,6 +464,33 @@ func BenchmarkOptimizeBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkSearch measures one full placement search per strategy with
+// the real trained five-metric predictor scoring every candidate under a
+// 64-candidate budget. Unlike internal/placement's BenchmarkSearch, which
+// isolates engine overhead behind a stub predictor, this run is dominated
+// by ensemble inference — it is the headline search number tracked in the
+// BENCH_*.json perf trajectory. Workers is pinned to 1 so ns/op measures
+// kernel cost, not scheduler luck.
+func BenchmarkSearch(b *testing.B) {
+	optimizeBenchSetup(b)
+	for _, name := range placement.StrategyNames() {
+		strat, err := placement.ParseStrategy(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := placement.Search(optBenchPred, optBenchQ, optBenchC, strat,
+					placement.MinProcLatency, placement.Budget{MaxCandidates: 64},
+					placement.SearchOptions{Seed: int64(i), Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPlacementEnumeration measures heuristic candidate generation.
 func BenchmarkPlacementEnumeration(b *testing.B) {
 	gen := workload.New(workload.DefaultConfig(9))

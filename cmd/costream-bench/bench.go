@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark's recorded numbers.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Entry is either a flat measurement or a committed before/after pair
+// (as in BENCH_<pr>.json); Current returns the value to compare against.
+type Entry struct {
+	Measurement
+	Before *Measurement `json:"before,omitempty"`
+	After  *Measurement `json:"after,omitempty"`
+}
+
+// Current returns the entry's comparable measurement: "after" when the
+// entry is a before/after pair, the flat measurement otherwise.
+func (e *Entry) Current() Measurement {
+	if e.After != nil {
+		return *e.After
+	}
+	return e.Measurement
+}
+
+// BenchFile is the on-disk JSON shape.
+type BenchFile struct {
+	Note       string            `json:"note,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]*Entry `json:"benchmarks"`
+}
+
+// Marshal renders the file with stable indentation.
+func (f *BenchFile) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// LoadBench reads a BENCH JSON file.
+func LoadBench(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmarks in file")
+	}
+	return &f, nil
+}
+
+// ParseBench extracts benchmark results from `go test -bench` output.
+// Lines look like
+//
+//	BenchmarkServePredict/cold-4   50   1103573 ns/op   24787 B/op   293 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped from the name; the cpu:
+// line, when present, is carried into the file header.
+func ParseBench(r io.Reader) (*BenchFile, error) {
+	f := &BenchFile{Benchmarks: map[string]*Entry{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			f.CPU = cpu
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		e := &Entry{Measurement: Measurement{NsPerOp: ns}}
+		for i := 4; i+1 < len(fields); i += 2 {
+			if fields[i+1] == "allocs/op" {
+				allocs, err := strconv.ParseInt(fields[i], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("line %q: %w", line, err)
+				}
+				e.AllocsPerOp = allocs
+			}
+		}
+		f.Benchmarks[name] = e
+	}
+	return f, sc.Err()
+}

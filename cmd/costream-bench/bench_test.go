@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: costream
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkServePredict/cold-4         	      50	   1103573 ns/op	   24787 B/op	     293 allocs/op
+BenchmarkServePredict/cached-4       	      50	     75197 ns/op	   17180 B/op	     138 allocs/op
+BenchmarkSearch/random               	       5	  29357219 ns/op	  105323 B/op	     851 allocs/op
+PASS
+ok  	costream	2.199s
+`
+
+func TestParseBench(t *testing.T) {
+	f, err := ParseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("cpu = %q", f.CPU)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	cold := f.Benchmarks["BenchmarkServePredict/cold"]
+	if cold == nil {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if cold.NsPerOp != 1103573 || cold.AllocsPerOp != 293 {
+		t.Fatalf("cold = %+v", cold.Measurement)
+	}
+	if rnd := f.Benchmarks["BenchmarkSearch/random"]; rnd == nil || rnd.AllocsPerOp != 851 {
+		t.Fatalf("random = %+v", f.Benchmarks["BenchmarkSearch/random"])
+	}
+}
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareUsesAfterAndGates(t *testing.T) {
+	base := writeBench(t, "base.json", `{
+	  "benchmarks": {
+	    "BenchmarkServePredict/cold": {
+	      "before": {"ns_per_op": 1302900, "allocs_per_op": 1863},
+	      "after":  {"ns_per_op": 550000,  "allocs_per_op": 293}
+	    },
+	    "BenchmarkOnlyInBase": {"ns_per_op": 1, "allocs_per_op": 1}
+	  }
+	}`)
+	okRun := writeBench(t, "ok.json", `{
+	  "benchmarks": {
+	    "BenchmarkServePredict/cold": {"ns_per_op": 600000, "allocs_per_op": 293},
+	    "BenchmarkOnlyInNew": {"ns_per_op": 9e9, "allocs_per_op": 9999}
+	  }
+	}`)
+	bad := writeBench(t, "bad.json", `{
+	  "benchmarks": {
+	    "BenchmarkServePredict/cold": {"ns_per_op": 700000, "allocs_per_op": 293}
+	  }
+	}`)
+
+	// 600000 is within 20% of the baseline's "after" (550000); benchmarks
+	// present on only one side are ignored.
+	if ok, err := runCompare(base, okRun, 0.20); err != nil || !ok {
+		t.Fatalf("within-tolerance run: ok=%v err=%v", ok, err)
+	}
+	// 700000 is a 27% ns/op regression: must gate.
+	if ok, err := runCompare(base, bad, 0.20); err != nil || ok {
+		t.Fatalf("regressed run: ok=%v err=%v, want gate", ok, err)
+	}
+}
+
+func TestCompareGatesOnAllocs(t *testing.T) {
+	base := writeBench(t, "base.json", `{
+	  "benchmarks": {"BenchmarkX": {"ns_per_op": 1000, "allocs_per_op": 100}}
+	}`)
+	bad := writeBench(t, "bad.json", `{
+	  "benchmarks": {"BenchmarkX": {"ns_per_op": 1000, "allocs_per_op": 150}}
+	}`)
+	if ok, err := runCompare(base, bad, 0.20); err != nil || ok {
+		t.Fatalf("alloc regression: ok=%v err=%v, want gate", ok, err)
+	}
+}

@@ -1,0 +1,129 @@
+// Command costream-bench turns `go test -bench` output into a small
+// JSON record and gates CI on it.
+//
+// Parse benchmark output (stdin or a file) into BENCH JSON:
+//
+//	go test -run XXX -bench . -benchtime 3x . | costream-bench -parse - -out BENCH_pr.json
+//
+// Compare a fresh run against a committed baseline, failing (exit 1)
+// with a per-benchmark diff when ns/op or allocs/op regress by more
+// than the tolerance:
+//
+//	costream-bench -compare BENCH_6.json -new BENCH_pr.json -tolerance 0.20
+//
+// Baseline entries may be flat measurements or {"before": ..., "after":
+// ...} pairs as committed in BENCH_<pr>.json; compare uses "after".
+// Only benchmarks present in both files are compared, so
+// machine-dependent sub-benchmarks (e.g. workers=N fan-outs) don't have
+// to match across environments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+func main() {
+	var (
+		parse     = flag.String("parse", "", "parse `go test -bench` output from this file ('-' = stdin) into JSON")
+		out       = flag.String("out", "", "write parsed JSON here (default stdout)")
+		baseline  = flag.String("compare", "", "baseline BENCH JSON to compare against")
+		fresh     = flag.String("new", "", "freshly parsed BENCH JSON (with -compare)")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional regression in ns/op and allocs/op")
+	)
+	flag.Parse()
+	switch {
+	case *parse != "":
+		if err := runParse(*parse, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "costream-bench:", err)
+			os.Exit(1)
+		}
+	case *baseline != "":
+		ok, err := runCompare(*baseline, *fresh, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "costream-bench:", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runParse(in, out string) error {
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	file, err := ParseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(file.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", in)
+	}
+	data, err := file.Marshal()
+	if err != nil {
+		return err
+	}
+	if out == "" || out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+func runCompare(basePath, newPath string, tol float64) (bool, error) {
+	if newPath == "" {
+		return false, fmt.Errorf("-compare requires -new")
+	}
+	base, err := LoadBench(basePath)
+	if err != nil {
+		return false, fmt.Errorf("baseline %s: %w", basePath, err)
+	}
+	cur, err := LoadBench(newPath)
+	if err != nil {
+		return false, fmt.Errorf("new %s: %w", newPath, err)
+	}
+	var names []string
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return false, fmt.Errorf("no common benchmarks between %s and %s", basePath, newPath)
+	}
+	ok := true
+	for _, name := range names {
+		b, c := base.Benchmarks[name].Current(), cur.Benchmarks[name].Current()
+		nsBad := c.NsPerOp > b.NsPerOp*(1+tol)
+		allocBad := float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol)
+		status := "ok"
+		if nsBad || allocBad {
+			status = "REGRESSION"
+			ok = false
+		}
+		fmt.Printf("%-40s %12.0f -> %12.0f ns/op (%+.1f%%)  %6d -> %6d allocs/op  [%s]\n",
+			name, b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp-b.NsPerOp)/b.NsPerOp,
+			b.AllocsPerOp, c.AllocsPerOp, status)
+	}
+	if !ok {
+		fmt.Printf("FAIL: regression beyond %.0f%% tolerance vs %s\n", tol*100, basePath)
+	} else {
+		fmt.Printf("ok: %d benchmarks within %.0f%% of %s\n", len(names), tol*100, basePath)
+	}
+	return ok, nil
+}

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +42,8 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 0, "max concurrent model evaluations (0 = GOMAXPROCS)")
 		optWorkers  = flag.Int("optimize-workers", 0, "scoring workers per optimize request (0 = GOMAXPROCS)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		pprofAddr   = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty disables; keep it private)")
+		fast32      = flag.Bool("fast32", false, "run stacked ensemble inference in float32 (faster, ~1e-4 relative drift)")
 	)
 	flag.Parse()
 
@@ -57,6 +60,27 @@ func main() {
 	log.Printf("loaded %s: %d/5 metric ensembles (trained %s, seed %d, corpus %d, epochs %d, ensemble %d)",
 		*modelPath, metrics, prov.CreatedAt.Format(time.RFC3339),
 		prov.TrainSeed, prov.CorpusSize, prov.Epochs, prov.EnsembleSize)
+	if *fast32 {
+		pred.SetFast32(true)
+		log.Print("float32 stacked inference enabled")
+	}
+
+	if *pprofAddr != "" {
+		// pprof gets its own mux and listener so profiling endpoints never
+		// share the public address.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	srv, err := serve.New(serve.Config{
 		Predictor:       pred,

@@ -107,56 +107,32 @@ func (pr *Predictor) PredictBatch(q *stream.Query, c *hardware.Cluster, candidat
 	}
 
 	out := make([]placement.PredCosts, len(candidates))
-	gcache := make(map[FeatureMode]*gnn.Graph, len(batches))
+	src := &batchSource{
+		batches: batches,
+		gcache:  make(map[FeatureMode]*gnn.Graph, len(batches)),
+	}
+	w := getInferScratch()
+	defer putInferScratch(w)
 	for i, p := range candidates {
-		for mode := range gcache {
-			delete(gcache, mode)
-		}
-		graph := func(mode FeatureMode) (*gnn.Graph, error) {
-			if g, ok := gcache[mode]; ok {
-				return g, nil
-			}
-			g, err := batches[mode].BuildGraph(p)
-			if err != nil {
-				return nil, err
-			}
-			gcache[mode] = g
-			return g, nil
-		}
+		clear(src.gcache)
+		src.p = p
 		// value and label mirror Ensemble.PredictValue / PredictLabel on
 		// the shared graph, keeping the accumulation order identical so
-		// results are bit-equal to the per-candidate path.
+		// results are bit-equal to the per-candidate path; stackable
+		// ensembles additionally ride the one-pass stacked kernels.
 		value := func(e *Ensemble) (float64, error) {
-			var sum float64
-			for _, m := range e.Models {
-				g, err := graph(m.Feat.Mode)
-				if err != nil {
-					return 0, err
-				}
-				v, err := m.predictPlanned(g, batches[m.Feat.Mode].Plan())
-				if err != nil {
-					return 0, err
-				}
-				sum += v
+			vals, err := e.predictWith(src, w)
+			if err != nil {
+				return 0, err
 			}
-			return sum / float64(len(e.Models)), nil
+			return meanOf(vals), nil
 		}
 		label := func(e *Ensemble) (bool, error) {
-			votes := 0
-			for _, m := range e.Models {
-				g, err := graph(m.Feat.Mode)
-				if err != nil {
-					return false, err
-				}
-				prob, err := m.predictPlanned(g, batches[m.Feat.Mode].Plan())
-				if err != nil {
-					return false, err
-				}
-				if prob > 0.5 {
-					votes++
-				}
+			probs, err := e.predictWith(src, w)
+			if err != nil {
+				return false, err
 			}
-			return votes*2 > len(e.Models), nil
+			return voteOf(probs), nil
 		}
 
 		costs := placement.PredCosts{Success: true}

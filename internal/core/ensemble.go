@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"costream/internal/dataset"
 	"costream/internal/hardware"
@@ -14,9 +15,19 @@ import (
 // Ensemble combines several independently seeded models for one metric
 // (Section IV-A): predictions are averaged for regression metrics and
 // majority-voted for the binary metrics, reducing prediction uncertainty.
+//
+// Predictions run through a lazily built, cached weight stack
+// (gnn.StackedModel) that advances all members in one kernel pass per
+// message-passing phase; mutate a member's weights in place only through
+// code that calls Invalidate afterwards.
 type Ensemble struct {
 	Metric Metric
 	Models []*CostModel
+
+	stack   atomic.Pointer[ensembleStack]
+	stackMu sync.Mutex
+	fast32  atomic.Bool
+	paths   pathCounters
 }
 
 // TrainEnsemble trains k models with different random initialization seeds
@@ -45,24 +56,26 @@ func TrainEnsemble(train, val *dataset.Corpus, metric Metric, cfg TrainConfig, k
 			return nil, err
 		}
 	}
-	return &Ensemble{Metric: metric, Models: models}, nil
+	e := &Ensemble{Metric: metric, Models: models}
+	e.stacked() // build the weight stack once at train time
+	return e, nil
 }
 
 // PredictValue returns the ensemble's regression estimate (mean of member
-// predictions). It errors for classification metrics.
+// predictions). It errors for classification metrics. The placement is
+// featurized once for the whole ensemble and all members advance through
+// the stacked one-pass kernels (bit-identical to per-member inference).
 func (e *Ensemble) PredictValue(q *stream.Query, c *hardware.Cluster, p sim.Placement) (float64, error) {
 	if !e.Metric.IsRegression() {
 		return 0, fmt.Errorf("core: %v is not a regression metric", e.Metric)
 	}
-	var sum float64
-	for _, m := range e.Models {
-		v, err := m.PredictRaw(q, c, p)
-		if err != nil {
-			return 0, err
-		}
-		sum += v
+	w := getInferScratch()
+	defer putInferScratch(w)
+	vals, err := e.predictWith(&tripleSource{q: q, c: c, p: p}, w)
+	if err != nil {
+		return 0, err
 	}
-	return sum / float64(len(e.Models)), nil
+	return meanOf(vals), nil
 }
 
 // PredictLabel returns the ensemble's majority vote for a binary metric.
@@ -70,17 +83,13 @@ func (e *Ensemble) PredictLabel(q *stream.Query, c *hardware.Cluster, p sim.Plac
 	if e.Metric.IsRegression() {
 		return false, fmt.Errorf("core: %v is not a classification metric", e.Metric)
 	}
-	votes := 0
-	for _, m := range e.Models {
-		prob, err := m.PredictRaw(q, c, p)
-		if err != nil {
-			return false, err
-		}
-		if prob > 0.5 {
-			votes++
-		}
+	w := getInferScratch()
+	defer putInferScratch(w)
+	probs, err := e.predictWith(&tripleSource{q: q, c: c, p: p}, w)
+	if err != nil {
+		return false, err
 	}
-	return votes*2 > len(e.Models), nil
+	return voteOf(probs), nil
 }
 
 // PredictTrace predicts for a stored trace: the mean value for regression

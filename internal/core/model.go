@@ -498,7 +498,9 @@ func (cm *CostModel) fit(trainSamples, valSamples []sample, cfg TrainConfig) err
 }
 
 // FineTune continues training on additional traces (few-shot learning,
-// Exp 5b). The model is updated in place.
+// Exp 5b). The model is updated in place; if the model belongs to an
+// Ensemble, call Ensemble.Invalidate afterwards so the cached weight
+// stack is rebuilt from the tuned weights.
 func (cm *CostModel) FineTune(extra *dataset.Corpus, cfg TrainConfig) error {
 	samples, err := buildSamples(&cm.Feat, extra, cm.Metric)
 	if err != nil {

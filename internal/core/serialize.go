@@ -108,6 +108,11 @@ func (e *Ensemble) UnmarshalJSON(data []byte) error {
 	}
 	e.Metric = metric
 	e.Models = j.Members
+	// Any previously cached weight stack refers to the old members;
+	// rebuild eagerly so load time, not first-predict latency, pays for
+	// stacking.
+	e.Invalidate()
+	e.stacked()
 	return nil
 }
 

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"costream/internal/gnn"
+	"costream/internal/hardware"
+	"costream/internal/sim"
+	"costream/internal/stream"
+)
+
+// randomEnsemble builds an untrained ensemble straight from seeded GNNs —
+// the stacked-path tests need real weights and real featurization, not a
+// trained model, so they skip the minutes of fitting.
+func randomEnsemble(t testing.TB, metric Metric, k int, traditional bool) *Ensemble {
+	t.Helper()
+	feat := Featurizer{}
+	gcfg := gnn.DefaultConfig(feat.FeatDims())
+	gcfg.Hidden = 16
+	gcfg.Traditional = traditional
+	models := make([]*CostModel, k)
+	for i := range models {
+		net, err := gnn.New(gcfg, int64(500+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[i] = &CostModel{Metric: metric, Feat: feat, Net: net}
+	}
+	return &Ensemble{Metric: metric, Models: models}
+}
+
+// perMemberValue is the historical PredictValue: each member featurizes
+// and infers on its own. The stacked path must reproduce it bit for bit.
+func perMemberValue(t *testing.T, e *Ensemble, q *stream.Query, c *hardware.Cluster, p sim.Placement) float64 {
+	t.Helper()
+	var sum float64
+	for _, m := range e.Models {
+		v, err := m.PredictRaw(q, c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+	}
+	return sum / float64(len(e.Models))
+}
+
+func perMemberLabel(t *testing.T, e *Ensemble, q *stream.Query, c *hardware.Cluster, p sim.Placement) bool {
+	t.Helper()
+	votes := 0
+	for _, m := range e.Models {
+		prob, err := m.PredictRaw(q, c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prob > 0.5 {
+			votes++
+		}
+	}
+	return votes*2 > len(e.Models)
+}
+
+// TestStackedPredictValueMatchesPerMember pins the stacked ensemble path
+// to the historical per-member path: bit-identical means over a slice of
+// real corpus traces.
+func TestStackedPredictValueMatchesPerMember(t *testing.T) {
+	c := testCorpus(t)
+	e := randomEnsemble(t, MetricThroughput, 3, false)
+	for i, tr := range c.Traces[:40] {
+		want := perMemberValue(t, e, tr.Query, tr.Cluster, tr.Placement)
+		got, err := e.PredictValue(tr.Query, tr.Cluster, tr.Placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trace %d: stacked %v != per-member %v", i, got, want)
+		}
+	}
+	if e.paths.stackedCalls.Load() == 0 || e.paths.fallbackCalls.Load() != 0 {
+		t.Fatalf("stacked=%d fallback=%d calls; want all stacked",
+			e.paths.stackedCalls.Load(), e.paths.fallbackCalls.Load())
+	}
+}
+
+// TestStackedPredictLabelMatchesPerMember does the same for a binary
+// metric's majority vote.
+func TestStackedPredictLabelMatchesPerMember(t *testing.T) {
+	c := testCorpus(t)
+	e := randomEnsemble(t, MetricSuccess, 3, false)
+	for i, tr := range c.Traces[:40] {
+		want := perMemberLabel(t, e, tr.Query, tr.Cluster, tr.Placement)
+		got, err := e.PredictLabel(tr.Query, tr.Cluster, tr.Placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trace %d: stacked %v != per-member %v", i, got, want)
+		}
+	}
+}
+
+// TestTraditionalEnsembleFallsBack checks that the Exp 7b ablation
+// (traditional message passing) cannot stack, still predicts correctly,
+// and is counted on the fallback path.
+func TestTraditionalEnsembleFallsBack(t *testing.T) {
+	c := testCorpus(t)
+	e := randomEnsemble(t, MetricThroughput, 2, true)
+	if st := e.stacked(); st.sm != nil {
+		t.Fatal("traditional ensemble produced a weight stack")
+	}
+	tr := c.Traces[0]
+	want := perMemberValue(t, e, tr.Query, tr.Cluster, tr.Placement)
+	got, err := e.PredictValue(tr.Query, tr.Cluster, tr.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("fallback %v != per-member %v", got, want)
+	}
+	if e.paths.fallbackCalls.Load() == 0 {
+		t.Fatal("fallback path not counted")
+	}
+}
+
+// TestPredictBatchStackedMatchesPerMember pins the batched scoring path —
+// the serve and search hot path — to the per-member reference.
+func TestPredictBatchStackedMatchesPerMember(t *testing.T) {
+	c := testCorpus(t)
+	pr := &Predictor{
+		Throughput: randomEnsemble(t, MetricThroughput, 3, false),
+		Success:    randomEnsemble(t, MetricSuccess, 3, false),
+	}
+	tr := c.Traces[0]
+	cands := []sim.Placement{tr.Placement, tr.Placement, tr.Placement}
+	out, err := pr.PredictBatch(tr.Query, tr.Cluster, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range cands {
+		if want := perMemberValue(t, pr.Throughput, tr.Query, tr.Cluster, p); out[i].ThroughputTPS != want {
+			t.Fatalf("candidate %d: batch throughput %v != per-member %v", i, out[i].ThroughputTPS, want)
+		}
+		if want := perMemberLabel(t, pr.Success, tr.Query, tr.Cluster, p); out[i].Success != want {
+			t.Fatalf("candidate %d: batch success %v != per-member %v", i, out[i].Success, want)
+		}
+	}
+}
+
+// TestInvalidateRebuildsStack checks that in-place weight updates become
+// visible after Invalidate (and, implicitly, that the stack holds copies).
+func TestInvalidateRebuildsStack(t *testing.T) {
+	c := testCorpus(t)
+	e := randomEnsemble(t, MetricThroughput, 2, false)
+	tr := c.Traces[0]
+	before, err := e.PredictValue(tr.Query, tr.Cluster, tr.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, _ := e.Models[0].Net.Params()
+	for _, p := range params {
+		for i := range p {
+			p[i] *= 1.5
+		}
+	}
+	e.Invalidate()
+	after, err := e.PredictValue(tr.Query, tr.Cluster, tr.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := perMemberValue(t, e, tr.Query, tr.Cluster, tr.Placement); after != want {
+		t.Fatalf("post-invalidate stacked %v != per-member %v", after, want)
+	}
+	if after == before {
+		t.Fatal("weight update had no effect after Invalidate")
+	}
+}
+
+// TestPredictValueAllocsHoisted asserts the satellite fix: featurization
+// happens once per PredictValue call, not once per member, so allocations
+// barely grow with the ensemble size.
+func TestPredictValueAllocsHoisted(t *testing.T) {
+	c := testCorpus(t)
+	tr := c.Traces[0]
+	measure := func(e *Ensemble) float64 {
+		if _, err := e.PredictValue(tr.Query, tr.Cluster, tr.Placement); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(20, func() {
+			if _, err := e.PredictValue(tr.Query, tr.Cluster, tr.Placement); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	a1 := measure(randomEnsemble(t, MetricThroughput, 1, false))
+	a3 := measure(randomEnsemble(t, MetricThroughput, 3, false))
+	// Per-member featurization would roughly triple the allocations; the
+	// hoisted path shares one graph + plan across members (the stacked
+	// kernels themselves are allocation-free steady state).
+	if a3 > a1*1.3+4 {
+		t.Fatalf("PredictValue allocs grew from %v (k=1) to %v (k=3); featurization not hoisted", a1, a3)
+	}
+}
+
+// TestFast32QErrorDrift gates the float32 fast path on a golden corpus:
+// the multiplicative drift of each prediction — the q-error between the
+// float32 and float64 estimates, computed in strictly positive exp space
+// (pred+1 = exp(raw) for the ExpM1 regression head) — must stay tiny.
+func TestFast32QErrorDrift(t *testing.T) {
+	c := testCorpus(t)
+	e := randomEnsemble(t, MetricThroughput, 3, false)
+	traces := c.Traces[:60]
+	base := make([]float64, len(traces))
+	for i, tr := range traces {
+		v, err := e.PredictValue(tr.Query, tr.Cluster, tr.Placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base[i] = v
+	}
+	e.SetFast32(true)
+	defer e.SetFast32(false)
+	maxDrift := 1.0
+	for i, tr := range traces {
+		v, err := e.PredictValue(tr.Query, tr.Cluster, tr.Placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := (v + 1) / (base[i] + 1)
+		if q < 1 {
+			q = 1 / q
+		}
+		if q > maxDrift {
+			maxDrift = q
+		}
+	}
+	// The raw outputs agree to ~1e-4 relative, so the exp-space q-error
+	// drift stays within a fraction of a percent — far below the >=1.2
+	// q-error resolution the paper's accuracy tables care about.
+	if maxDrift > 1.01 {
+		t.Fatalf("float32 q-error drift %v exceeds 1.01", maxDrift)
+	}
+}
+
+// TestStackedConcurrentPredict exercises the shared weight stack and the
+// pooled per-worker scratches from concurrent search/serve-style workers;
+// run under -race in the CI race matrix.
+func TestStackedConcurrentPredict(t *testing.T) {
+	c := testCorpus(t)
+	pr := &Predictor{
+		Throughput: randomEnsemble(t, MetricThroughput, 3, false),
+		Success:    randomEnsemble(t, MetricSuccess, 3, false),
+	}
+	tr := c.Traces[0]
+	cands := []sim.Placement{tr.Placement, tr.Placement, tr.Placement}
+	want, err := pr.Throughput.PredictValue(tr.Query, tr.Cluster, tr.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for wkr := 0; wkr < 8; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for iter := 0; iter < 15; iter++ {
+				switch wkr % 3 {
+				case 0:
+					got, err := pr.Throughput.PredictValue(tr.Query, tr.Cluster, tr.Placement)
+					if err == nil && got != want {
+						err = fmt.Errorf("concurrent PredictValue diverged: got %v want %v", got, want)
+					}
+					if err != nil {
+						errs[wkr] = err
+						return
+					}
+				case 1:
+					if _, err := pr.PredictBatch(tr.Query, tr.Cluster, cands); err != nil {
+						errs[wkr] = err
+						return
+					}
+				default:
+					if _, err := pr.Success.PredictLabel(tr.Query, tr.Cluster, tr.Placement); err != nil {
+						errs[wkr] = err
+						return
+					}
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := pr.InferencePathStats()
+	if stats.StackedCalls == 0 || stats.StackedNanos == 0 {
+		t.Fatalf("path stats %+v recorded no stacked work", stats)
+	}
+}

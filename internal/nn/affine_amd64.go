@@ -1,0 +1,33 @@
+//go:build amd64
+
+package nn
+
+// haveAffineAsm reports that this build includes the hand-written AVX
+// kernels; useAffineAsm additionally requires CPU+OS support at runtime.
+const haveAffineAsm = true
+
+// hasAVX is true when the CPU supports AVX and the OS preserves YMM
+// state across context switches (OSXSAVE + XCR0).
+var hasAVX = cpuHasAVX()
+
+// useAffineAsm selects the assembly transposed-affine kernels. A
+// variable (not const) so tests can force the portable path and compare.
+var useAffineAsm = hasAVX
+
+// cpuHasAVX is implemented in affine_amd64.s (CPUID + XGETBV).
+func cpuHasAVX() bool
+
+// affineTransAVX computes y[o] = b[o] + Σ_i wt[i*out+o]·x[i] for
+// o in [0, out) over the column-major (transposed) weight matrix wt.
+// Outputs ride in YMM lanes while i advances sequentially, so every
+// output accumulates bias-first-then-inputs-in-index-order — bit-identical
+// to Linear.affineInto (VADDPD/VMULPD lanes are IEEE-identical to the
+// scalar ops). x must hold in values, wt in·out, y and b out.
+//
+//go:noescape
+func affineTransAVX(y, x, wt, b *float64, in, out int)
+
+// affineTransAVX32 is the float32 twin (8 lanes per YMM register).
+//
+//go:noescape
+func affineTransAVX32(y, x, wt, b *float32, in, out int)

@@ -1,0 +1,148 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randRows(rng *rand.Rand, rows, dim int) []float64 {
+	x := make([]float64, rows*dim)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestStackedMLPSharedMatchesInfer checks that ForwardShared is
+// bit-identical, member for member, to running each MLP's Infer on every
+// row.
+func TestStackedMLPSharedMatchesInfer(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const k, rows, in, hid, out = 3, 7, 11, 16, 5
+	mlps := make([]*MLP, k)
+	for m := range mlps {
+		mlps[m] = NewMLP(rng, in, hid, out)
+	}
+	s, err := StackMLPs(mlps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randRows(rng, rows, in)
+	dst := make([]float64, rows*k*out)
+	s.ForwardShared(dst, x, rows, &DenseScratch{})
+	for r := 0; r < rows; r++ {
+		for m := 0; m < k; m++ {
+			want := mlps[m].Infer(x[r*in : (r+1)*in])
+			got := dst[r*k*out+m*out : r*k*out+(m+1)*out]
+			for o := range want {
+				if got[o] != want[o] {
+					t.Fatalf("row %d member %d out %d: got %v want %v", r, m, o, got[o], want[o])
+				}
+			}
+		}
+	}
+}
+
+// TestStackedMLPBlocksMatchesInfer checks the interleaved member-block
+// path against per-member Infer.
+func TestStackedMLPBlocksMatchesInfer(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const k, rows, in, hid, out = 4, 5, 9, 13, 3
+	mlps := make([]*MLP, k)
+	for m := range mlps {
+		mlps[m] = NewMLP(rng, in, hid, out)
+	}
+	s, err := StackMLPs(mlps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randRows(rng, rows, k*in)
+	dst := make([]float64, rows*k*out)
+	s.ForwardBlocks(dst, x, rows, &DenseScratch{})
+	for r := 0; r < rows; r++ {
+		for m := 0; m < k; m++ {
+			want := mlps[m].Infer(x[r*k*in+m*in : r*k*in+(m+1)*in])
+			got := dst[r*k*out+m*out : r*k*out+(m+1)*out]
+			for o := range want {
+				if got[o] != want[o] {
+					t.Fatalf("row %d member %d out %d: got %v want %v", r, m, o, got[o], want[o])
+				}
+			}
+		}
+	}
+}
+
+// TestStackedMLPFloat32Tolerance checks the float32 fast path stays
+// within the documented relative tolerance of the float64 reference.
+func TestStackedMLPFloat32Tolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const k, rows, in, hid, out = 3, 6, 10, 24, 4
+	mlps := make([]*MLP, k)
+	for m := range mlps {
+		mlps[m] = NewMLP(rng, in, hid, out)
+	}
+	s, err := StackMLPs(mlps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randRows(rng, rows, k*in)
+	x32 := make([]float32, len(x))
+	for i, v := range x {
+		x32[i] = float32(v)
+	}
+	dst := make([]float64, rows*k*out)
+	dst32 := make([]float32, rows*k*out)
+	sc := &DenseScratch{}
+	s.ForwardBlocks(dst, x, rows, sc)
+	s.ForwardBlocks32(dst32, x32, rows, sc)
+	for i := range dst {
+		got, want := float64(dst32[i]), dst[i]
+		if math.Abs(got-want) > 1e-4*math.Max(1, math.Abs(want)) {
+			t.Fatalf("elem %d: float32 %v vs float64 %v", i, got, want)
+		}
+	}
+}
+
+// TestStackedMLPRejectsMismatches checks shape and slope validation.
+func TestStackedMLPRejectsMismatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewMLP(rng, 4, 8, 2)
+	bDeep := NewMLP(rng, 4, 8, 8, 2)
+	bWide := NewMLP(rng, 4, 9, 2)
+	bAlpha := NewMLP(rng, 4, 8, 2)
+	bAlpha.Alpha = 0.2
+	if _, err := StackMLPs(nil); err == nil {
+		t.Fatal("stacking zero MLPs should fail")
+	}
+	for name, other := range map[string]*MLP{"depth": bDeep, "width": bWide, "alpha": bAlpha} {
+		if _, err := StackMLPs([]*MLP{a, other}); err == nil {
+			t.Fatalf("stacking mismatched %s should fail", name)
+		}
+	}
+}
+
+// TestStackedForwardAllocs checks the steady-state kernel path allocates
+// nothing once the scratch has grown.
+func TestStackedForwardAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const k, rows, in, hid, out = 3, 8, 12, 16, 4
+	mlps := make([]*MLP, k)
+	for m := range mlps {
+		mlps[m] = NewMLP(rng, in, hid, out)
+	}
+	s, err := StackMLPs(mlps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randRows(rng, rows, k*in)
+	dst := make([]float64, rows*k*out)
+	sc := &DenseScratch{}
+	s.ForwardBlocks(dst, x, rows, sc) // grow buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		s.ForwardBlocks(dst, x, rows, sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ForwardBlocks allocates %v times per call, want 0", allocs)
+	}
+}

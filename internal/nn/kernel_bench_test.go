@@ -1,0 +1,35 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkAffineKernels compares the portable blocked kernel against
+// the AVX transposed kernel on the GNN's typical update-layer shape.
+func BenchmarkAffineKernels(b *testing.B) {
+	const in, out, rows = 48, 24, 3
+	rng := rand.New(rand.NewSource(7))
+	l := NewLinear(rng, in, out)
+	s, err := StackLinears([]*Linear{l})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randRows(rng, rows, in)
+	y := make([]float64, rows*out)
+	w, bias := s.wb(0)
+	wt, _ := s.wtb(0)
+	b.Run("portable", func(b *testing.B) {
+		for b.Loop() {
+			affineRowsStrided(y, 0, out, x, 0, in, rows, w, bias, in, out, 0.01, true)
+		}
+	})
+	b.Run("avx", func(b *testing.B) {
+		if !useAffineAsm {
+			b.Skip("no AVX kernels on this machine")
+		}
+		for b.Loop() {
+			affineRowsTrans(y, 0, out, x, 0, in, rows, wt, bias, in, out, 0.01, true)
+		}
+	})
+}

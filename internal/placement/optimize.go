@@ -40,6 +40,25 @@ type BatchPredictor interface {
 	PredictBatch(q *stream.Query, c *hardware.Cluster, candidates []sim.Placement) ([]PredCosts, error)
 }
 
+// InferencePathStats counts which inference path served a predictor's
+// full-ensemble evaluations and the total wall time spent in each: the
+// stacked one-pass matrix kernels, or the per-member fallback (ablation
+// architectures, mixed featurizations). Serving layers surface it so
+// kernel regressions show up in production stats, not just benchmarks.
+type InferencePathStats struct {
+	StackedCalls  int64 `json:"stacked_calls"`
+	StackedNanos  int64 `json:"stacked_nanos"`
+	FallbackCalls int64 `json:"fallback_calls"`
+	FallbackNanos int64 `json:"fallback_nanos"`
+}
+
+// PathStatsReporter is optionally implemented by predictors that track
+// their inference paths (COSTREAM's ensemble predictor does); consumers
+// type-assert for it.
+type PathStatsReporter interface {
+	InferencePathStats() InferencePathStats
+}
+
 // Objective selects the target cost metric for placement optimization.
 type Objective int
 

@@ -485,6 +485,43 @@ func TestHealthzAndStats(t *testing.T) {
 	if st.MaxInFlight <= 0 {
 		t.Errorf("max in-flight %d", st.MaxInFlight)
 	}
+	if st.Inference != nil {
+		t.Errorf("inference stats %+v from a predictor that reports none", st.Inference)
+	}
+}
+
+// pathStatsPred wraps fakePred with canned inference-path counters, as a
+// stacked-ensemble predictor would report them.
+type pathStatsPred struct{ fakePred }
+
+func (p *pathStatsPred) InferencePathStats() placement.InferencePathStats {
+	return placement.InferencePathStats{
+		StackedCalls: 8, StackedNanos: 16_000,
+		FallbackCalls: 2, FallbackNanos: 9_000,
+	}
+}
+
+// TestStatsInferencePaths checks that /stats surfaces per-path inference
+// timings when the predictor tracks them.
+func TestStatsInferencePaths(t *testing.T) {
+	s := newTestServer(t, Config{Predictor: &pathStatsPred{}})
+	w := doJSON(t, s, http.MethodGet, "/stats", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats status %d", w.Code)
+	}
+	var st Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Inference == nil {
+		t.Fatal("no inference stanza from a PathStatsReporter predictor")
+	}
+	if st.Inference.StackedCalls != 8 || st.Inference.FallbackCalls != 2 {
+		t.Errorf("inference calls %+v", st.Inference)
+	}
+	if st.Inference.StackedAvgUS != 2 || st.Inference.FallbackAvgUS != 4.5 {
+		t.Errorf("inference averages %+v", st.Inference)
+	}
 }
 
 // TestCoalescerBatchesConcurrentRequests drives the coalescer directly

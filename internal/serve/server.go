@@ -533,6 +533,30 @@ type Stats struct {
 	// the semaphore bound.
 	InFlight    int64 `json:"in_flight"`
 	MaxInFlight int   `json:"max_in_flight"`
+	// Inference reports per-path inference timings when the predictor
+	// tracks them (placement.PathStatsReporter); omitted otherwise.
+	Inference *InferenceStats `json:"inference,omitempty"`
+}
+
+// InferenceStats breaks predictor work down by inference path: stacked
+// one-pass ensemble kernels vs the per-member fallback. Calls count
+// full-ensemble evaluations; the averages are per such call.
+type InferenceStats struct {
+	StackedCalls  int64   `json:"stacked_calls"`
+	StackedAvgUS  float64 `json:"stacked_avg_us"`
+	FallbackCalls int64   `json:"fallback_calls"`
+	FallbackAvgUS float64 `json:"fallback_avg_us"`
+}
+
+func newInferenceStats(ps placement.InferencePathStats) *InferenceStats {
+	st := &InferenceStats{StackedCalls: ps.StackedCalls, FallbackCalls: ps.FallbackCalls}
+	if ps.StackedCalls > 0 {
+		st.StackedAvgUS = float64(ps.StackedNanos) / float64(ps.StackedCalls) / 1e3
+	}
+	if ps.FallbackCalls > 0 {
+		st.FallbackAvgUS = float64(ps.FallbackNanos) / float64(ps.FallbackCalls) / 1e3
+	}
+	return st
 }
 
 // CacheStats describes the prediction cache.
@@ -555,6 +579,10 @@ type CoalesceStats struct {
 
 func (s *Server) snapshotStats() Stats {
 	hits, misses := s.cache.counters()
+	var inference *InferenceStats
+	if rep, ok := s.pred.(placement.PathStatsReporter); ok {
+		inference = newInferenceStats(rep.InferencePathStats())
+	}
 	return Stats{
 		UptimeS: time.Since(s.start).Seconds(),
 		Requests: map[string]int{
@@ -578,6 +606,7 @@ func (s *Server) snapshotStats() Stats {
 		},
 		InFlight:    s.inflight.Load(),
 		MaxInFlight: cap(s.sem),
+		Inference:   inference,
 	}
 }
 
