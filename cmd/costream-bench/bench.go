@@ -37,6 +37,7 @@ func (e *Entry) Current() Measurement {
 type BenchFile struct {
 	Note       string            `json:"note,omitempty"`
 	CPU        string            `json:"cpu,omitempty"`
+	Provenance *Provenance       `json:"provenance,omitempty"`
 	Benchmarks map[string]*Entry `json:"benchmarks"`
 }
 

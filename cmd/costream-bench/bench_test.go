@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 const sample = `goos: linux
@@ -92,5 +93,33 @@ func TestCompareGatesOnAllocs(t *testing.T) {
 	}`)
 	if ok, err := runCompare(base, bad, 0.20); err != nil || ok {
 		t.Fatalf("alloc regression: ok=%v err=%v, want gate", ok, err)
+	}
+}
+
+func TestProvenanceCollectedAndRoundTrips(t *testing.T) {
+	p := collectProvenance()
+	if p.GoMaxProcs < 1 {
+		t.Errorf("gomaxprocs = %d", p.GoMaxProcs)
+	}
+	if _, err := time.Parse(time.RFC3339, p.Timestamp); err != nil {
+		t.Errorf("timestamp %q: %v", p.Timestamp, err)
+	}
+
+	f, err := ParseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Provenance = p
+	data, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeBench(t, "prov.json", string(data))
+	got, err := LoadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Provenance == nil || *got.Provenance != *p {
+		t.Errorf("provenance round-trip: got %+v want %+v", got.Provenance, p)
 	}
 }

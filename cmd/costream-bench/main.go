@@ -73,6 +73,7 @@ func runParse(in, out string) error {
 	if len(file.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found in %s", in)
 	}
+	file.Provenance = collectProvenance()
 	data, err := file.Marshal()
 	if err != nil {
 		return err

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Provenance records where and when a BENCH file was produced, so a
+// committed baseline carries enough context to judge whether a later
+// comparison ran on comparable hardware.
+type Provenance struct {
+	// Timestamp is the parse time in RFC 3339 UTC.
+	Timestamp string `json:"timestamp,omitempty"`
+	// GitSHA is the repository HEAD at parse time (empty outside a
+	// checkout).
+	GitSHA string `json:"git_sha,omitempty"`
+	// GoMaxProcs is the parallelism the benchmarks ran with.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// CPUModel is the host CPU model string (empty when undetectable).
+	CPUModel string `json:"cpu_model,omitempty"`
+}
+
+// collectProvenance gathers best-effort environment facts; fields that
+// cannot be determined are left empty rather than failing the parse.
+func collectProvenance() *Provenance {
+	p := &Provenance{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		p.GitSHA = strings.TrimSpace(string(out))
+	}
+	return p
+}
+
+// cpuModel reads the first "model name" entry from /proc/cpuinfo.
+// Non-Linux hosts (no such file) get an empty string.
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		key, val, ok := strings.Cut(sc.Text(), ":")
+		if ok && strings.TrimSpace(key) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"costream"
+	"costream/internal/obs"
 	"costream/internal/workload"
 )
 
@@ -38,8 +39,11 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent candidate-scoring workers (0 = GOMAXPROCS)")
 		modelPath  = flag.String("model", "", "load a saved model artifact instead of training")
 		saveModel  = flag.String("save-model", "", "save the trained model as an artifact for reuse")
+		trace      = flag.Bool("trace", false, "print per-round search telemetry for every strategy")
+		pprofAddr  = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty disables; keep it private)")
 	)
 	flag.Parse()
+	obs.StartPprof(*pprofAddr, log.Printf)
 	if *budget > 0 {
 		*candidates = *budget
 	}
@@ -126,8 +130,9 @@ func main() {
 	var chosen *costream.SearchResult
 	for _, name := range costream.SearchStrategyNames() {
 		t0 := time.Now()
-		res, err := model.OptimizePlacementSearch(q, cluster, newStrategy(name),
-			costream.MinProcLatency, searchBudget, *seed+3, *workers)
+		res, err := model.OptimizePlacementSearchOpts(q, cluster, newStrategy(name),
+			costream.MinProcLatency, searchBudget,
+			costream.SearchOpts{Seed: *seed + 3, Workers: *workers, Telemetry: *trace})
 		if err != nil {
 			fmt.Printf("  %-13s failed: %v\n", name, err)
 			continue
@@ -139,6 +144,9 @@ func main() {
 		fmt.Printf("  %-13s %12.1f %9d %7d %9d %10v%s\n",
 			name, res.Costs.ProcLatencyMS, res.Examined, res.Rounds, res.Filtered,
 			time.Since(t0).Round(time.Millisecond), note)
+		if *trace {
+			printTrace(res.Telemetry)
+		}
 		if name == *strategy {
 			chosen = res
 		}
@@ -166,5 +174,20 @@ func main() {
 	fmt.Printf("measured optimized: %v\n", mBest)
 	if mInit.Success && mBest.Success && mBest.ProcLatencyMS > 0 {
 		fmt.Printf("speed-up: %.2fx in processing latency\n", mInit.ProcLatencyMS/mBest.ProcLatencyMS)
+	}
+}
+
+// printTrace renders one strategy's per-round telemetry as an indented
+// sub-table under its comparison row.
+func printTrace(rounds []costream.SearchRoundStats) {
+	if len(rounds) == 0 {
+		return
+	}
+	fmt.Printf("      %5s %6s %6s %5s %5s %8s %12s %10s\n",
+		"round", "submit", "fresh", "dup", "filt", "best", "score", "time")
+	for _, rs := range rounds {
+		fmt.Printf("      %5d %6d %6d %5d %5d %8d %12.4f %10v\n",
+			rs.Round, rs.Submitted, rs.Fresh, rs.Duplicates, rs.Filtered,
+			rs.BestIndex, rs.BestScore, time.Duration(rs.ElapsedNS).Round(time.Microsecond))
 	}
 }

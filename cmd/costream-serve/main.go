@@ -9,6 +9,7 @@
 //	curl localhost:8080/healthz
 //	curl localhost:8080/v1/example | curl -s --json @- localhost:8080/v1/predict
 //	curl localhost:8080/stats
+//	curl localhost:8080/metrics
 //
 // Concurrent predict requests for the same query and cluster are
 // coalesced into shared batch inference calls, responses are cached in a
@@ -21,14 +22,15 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"costream/internal/artifact"
+	"costream/internal/obs"
 	"costream/internal/serve"
 )
 
@@ -44,6 +46,7 @@ func main() {
 		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 		pprofAddr   = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty disables; keep it private)")
 		fast32      = flag.Bool("fast32", false, "run stacked ensemble inference in float32 (faster, ~1e-4 relative drift)")
+		traceLog    = flag.Bool("trace-log", false, "log one structured trace record per instrumented request (debug level)")
 	)
 	flag.Parse()
 
@@ -65,29 +68,19 @@ func main() {
 		log.Print("float32 stacked inference enabled")
 	}
 
-	if *pprofAddr != "" {
-		// pprof gets its own mux and listener so profiling endpoints never
-		// share the public address.
-		pmux := http.NewServeMux()
-		pmux.HandleFunc("/debug/pprof/", pprof.Index)
-		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		go func() {
-			log.Printf("pprof listening on %s", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
-				log.Printf("pprof listener: %v", err)
-			}
-		}()
-	}
+	obs.StartPprof(*pprofAddr, log.Printf)
 
+	var logger *slog.Logger
+	if *traceLog {
+		logger = obs.NewLogger("costream-serve", slog.LevelDebug, nil)
+	}
 	srv, err := serve.New(serve.Config{
 		Predictor:       pred,
 		CacheSize:       *cacheSize,
 		MaxInFlight:     *maxInFlight,
 		OptimizeWorkers: *optWorkers,
 		ModelInfo:       prov,
+		Logger:          logger,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -15,6 +15,7 @@
 //	costream-train -corpus corpus.json.gz -out model.json.gz                 # all five metrics
 //	costream-train -corpus corpus/ -out model.json.gz                        # sharded, streamed
 //	costream-train -corpus corpus.json.gz -metrics e2e-latency,success ...   # a subset
+//	costream-train -corpus corpus.json.gz -runlog train.jsonl                # per-epoch telemetry
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"costream/internal/artifact"
 	"costream/internal/core"
 	"costream/internal/dataset"
+	"costream/internal/obs"
 )
 
 func main() {
@@ -55,8 +57,11 @@ func run() error {
 		verbose    = flag.Bool("v", false, "log per-epoch losses")
 		workers    = flag.Int("workers", 0, "total training-worker budget and per-model data parallelism (0 = GOMAXPROCS); trained weights are identical for any value")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		runlogPath = flag.String("runlog", "", "append one JSON line per training epoch (metric, member, epoch, losses, duration) to this file")
+		pprofAddr  = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty disables; keep it private)")
 	)
 	flag.Parse()
+	obs.StartPprof(*pprofAddr, log.Printf)
 
 	if *ensemble < 1 {
 		return fmt.Errorf("-ensemble must be at least 1, got %d", *ensemble)
@@ -85,6 +90,21 @@ func run() error {
 	cfg.Workers = *workers
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+	if *runlogPath != "" {
+		rl, err := obs.OpenRunLog(*runlogPath)
+		if err != nil {
+			return err
+		}
+		defer rl.Close()
+		// The observer runs on every member goroutine; RunLog.Write is
+		// concurrency-safe. Write errors past the first epoch are rare
+		// (disk full), so surface them without aborting training.
+		cfg.Observer = func(es core.EpochStats) {
+			if err := rl.Write(es); err != nil {
+				log.Printf("runlog write: %v", err)
+			}
+		}
 	}
 
 	var metrics []core.Metric

@@ -126,6 +126,12 @@ type (
 	SearchBudget = placement.Budget
 	// SearchResult is the outcome of one placement search.
 	SearchResult = placement.SearchResult
+	// SearchOpts carries optional search knobs: seed, worker bound and
+	// opt-in per-round telemetry collection.
+	SearchOpts = placement.SearchOptions
+	// SearchRoundStats is one round's telemetry record (SearchOpts
+	// Telemetry must be set for SearchResult.Telemetry to be populated).
+	SearchRoundStats = placement.RoundStats
 
 	// RandomSampleStrategy scores a random sample of valid placements
 	// (the paper's baseline; default).
@@ -328,8 +334,17 @@ func (m *Model) OptimizePlacementWith(q *Query, c *Cluster, k int, obj Objective
 // strategy selects RandomSampleStrategy. The result is deterministic for
 // a fixed seed and any worker count (<= 0 selects GOMAXPROCS).
 func (m *Model) OptimizePlacementSearch(q *Query, c *Cluster, strat SearchStrategy, obj Objective, budget SearchBudget, seed int64, workers int) (*SearchResult, error) {
-	res, err := placement.Search(m.pred, q, c, strat, obj, budget,
-		placement.SearchOptions{Seed: seed, Workers: workers})
+	return m.OptimizePlacementSearchOpts(q, c, strat, obj, budget,
+		SearchOpts{Seed: seed, Workers: workers})
+}
+
+// OptimizePlacementSearchOpts is OptimizePlacementSearch with the full
+// options struct, exposing opt-in per-round telemetry
+// (SearchOpts{Telemetry: true} fills SearchResult.Telemetry). Telemetry
+// collection is purely observational: the chosen placement is identical
+// with it on or off.
+func (m *Model) OptimizePlacementSearchOpts(q *Query, c *Cluster, strat SearchStrategy, obj Objective, budget SearchBudget, opts SearchOpts) (*SearchResult, error) {
+	res, err := placement.Search(m.pred, q, c, strat, obj, budget, opts)
 	if err != nil {
 		return nil, fmt.Errorf("costream: %w", err)
 	}

@@ -2,13 +2,37 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"costream/internal/gnn"
 	"costream/internal/hardware"
+	"costream/internal/obs"
 	"costream/internal/placement"
 	"costream/internal/sim"
 	"costream/internal/stream"
 )
+
+// inferMetrics times the batched inference path in the default registry:
+// the placement-invariant featurization setup per PredictBatch call and
+// the full scoring (graph assembly + all ensembles) per candidate.
+type inferMetrics struct {
+	featurizeSeconds *obs.Histogram
+	candidateSeconds *obs.Histogram
+	candidates       *obs.Counter
+}
+
+var inferMet = sync.OnceValue(func() *inferMetrics {
+	r := obs.Default()
+	return &inferMetrics{
+		featurizeSeconds: r.Histogram("costream_inference_featurize_seconds",
+			"placement-invariant featurization setup per PredictBatch call", 1e-9),
+		candidateSeconds: r.Histogram("costream_inference_candidate_seconds",
+			"full scoring of one placement candidate across all cost-metric ensembles", 1e-9),
+		candidates: r.Counter("costream_inference_candidates_total",
+			"placement candidates scored through the batched inference path"),
+	}
+})
 
 // BatchFeaturizer amortizes graph construction over many placement
 // candidates for a fixed (query, cluster) pair: the operator nodes, their
@@ -91,6 +115,8 @@ func (pr *Predictor) ensembles() []*Ensemble {
 // ensemble members — instead of rebuilding it 5*k times as per-candidate
 // PredictPlacement calls would. Outputs match PredictPlacement exactly.
 func (pr *Predictor) PredictBatch(q *stream.Query, c *hardware.Cluster, candidates []sim.Placement) ([]placement.PredCosts, error) {
+	met := inferMet()
+	featStart := time.Now()
 	// One BatchFeaturizer per distinct featurization mode; in practice a
 	// predictor uses one mode, but Exp 7a ablations may mix them.
 	batches := map[FeatureMode]*BatchFeaturizer{}
@@ -106,6 +132,8 @@ func (pr *Predictor) PredictBatch(q *stream.Query, c *hardware.Cluster, candidat
 		}
 	}
 
+	met.featurizeSeconds.Since(featStart)
+
 	out := make([]placement.PredCosts, len(candidates))
 	src := &batchSource{
 		batches: batches,
@@ -114,6 +142,7 @@ func (pr *Predictor) PredictBatch(q *stream.Query, c *hardware.Cluster, candidat
 	w := getInferScratch()
 	defer putInferScratch(w)
 	for i, p := range candidates {
+		candStart := time.Now()
 		clear(src.gcache)
 		src.p = p
 		// value and label mirror Ensemble.PredictValue / PredictLabel on
@@ -163,6 +192,8 @@ func (pr *Predictor) PredictBatch(q *stream.Query, c *hardware.Cluster, candidat
 			}
 		}
 		out[i] = costs
+		met.candidateSeconds.Since(candStart)
+		met.candidates.Inc()
 	}
 	return out, nil
 }

@@ -47,6 +47,7 @@ func TrainEnsemble(train, val *dataset.Corpus, metric Metric, cfg TrainConfig, k
 			defer wg.Done()
 			c := cfg
 			c.Seed = cfg.Seed + int64(i)*7919
+			c.Member = i
 			models[i], errs[i] = Train(train, val, metric, c)
 		}(i)
 	}

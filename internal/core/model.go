@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"costream/internal/dataset"
 	"costream/internal/gnn"
@@ -104,6 +105,42 @@ type TrainConfig struct {
 	Traditional bool
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
+	// Observer, when set, receives one EpochStats record per completed
+	// training epoch. It is called synchronously from the goroutine
+	// driving this model's fit loop; ensemble training invokes it
+	// concurrently from the per-member goroutines, so observers must be
+	// safe for concurrent use.
+	Observer func(EpochStats)
+	// Member is the ensemble member ordinal carried into EpochStats;
+	// single-model training leaves it 0.
+	Member int
+}
+
+// EpochStats is the per-epoch training record emitted to
+// TrainConfig.Observer — the unit of the costream-train run log.
+type EpochStats struct {
+	// Metric names the cost metric whose model is training.
+	Metric string `json:"metric"`
+	// Member is the ensemble member ordinal (0 for single models).
+	Member int `json:"member"`
+	// Epoch is the 0-based epoch ordinal.
+	Epoch int `json:"epoch"`
+	// TrainLoss is the mean minibatch training loss of the epoch.
+	TrainLoss float64 `json:"train_loss"`
+	// ValLoss is the monitored loss: the validation loss when HasVal is
+	// set (a validation split existed), otherwise the training loss.
+	ValLoss float64 `json:"val_loss"`
+	HasVal  bool    `json:"has_val"`
+	// DurationNS is the wall time of the epoch (gradient passes plus
+	// validation).
+	DurationNS int64 `json:"duration_ns"`
+	// Allocs is the process-global heap-allocation count delta across the
+	// epoch — an upper bound on the epoch's own allocations when other
+	// goroutines (e.g. sibling ensemble members) run concurrently.
+	Allocs uint64 `json:"allocs"`
+	// Best reports that this epoch improved the monitored loss (its
+	// weights became the restore point).
+	Best bool `json:"best"`
 }
 
 // DefaultTrainConfig returns the training setup used by the experiments.
@@ -449,7 +486,15 @@ func (cm *CostModel) fit(trainSamples, valSamples []sample, cfg TrainConfig) err
 	best := math.Inf(1)
 	bestParams := snapshot(params)
 	badEpochs := 0
+	var ms runtime.MemStats
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochStart time.Time
+		var allocsStart uint64
+		if cfg.Observer != nil {
+			runtime.ReadMemStats(&ms)
+			allocsStart = ms.Mallocs
+			epochStart = time.Now()
+		}
 		rng.Shuffle(len(trainSamples), func(i, j int) {
 			trainSamples[i], trainSamples[j] = trainSamples[j], trainSamples[i]
 		})
@@ -471,8 +516,10 @@ func (cm *CostModel) fit(trainSamples, valSamples []sample, cfg TrainConfig) err
 			reduceSlots(grads, slots[:live])
 			opt.Step()
 		}
-		monitored := epochLoss / float64((len(trainSamples)+cfg.BatchSize-1)/cfg.BatchSize)
-		if len(valSamples) > 0 {
+		trainLoss := epochLoss / float64((len(trainSamples)+cfg.BatchSize-1)/cfg.BatchSize)
+		monitored := trainLoss
+		hasVal := len(valSamples) > 0
+		if hasVal {
 			vl, err := meanLoss(cm, valSamples, workers)
 			if err != nil {
 				return err
@@ -482,7 +529,22 @@ func (cm *CostModel) fit(trainSamples, valSamples []sample, cfg TrainConfig) err
 		if cfg.Logf != nil {
 			cfg.Logf("metric=%v epoch=%d loss=%.4f", cm.Metric, epoch, monitored)
 		}
-		if monitored < best-1e-6 {
+		improved := monitored < best-1e-6
+		if cfg.Observer != nil {
+			runtime.ReadMemStats(&ms)
+			cfg.Observer(EpochStats{
+				Metric:     cm.Metric.String(),
+				Member:     cfg.Member,
+				Epoch:      epoch,
+				TrainLoss:  trainLoss,
+				ValLoss:    monitored,
+				HasVal:     hasVal,
+				DurationNS: time.Since(epochStart).Nanoseconds(),
+				Allocs:     ms.Mallocs - allocsStart,
+				Best:       improved,
+			})
+		}
+		if improved {
 			best = monitored
 			copyInto(bestParams, params)
 			badEpochs = 0

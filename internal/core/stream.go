@@ -134,6 +134,7 @@ func trainEnsembleFromSamples(metric Metric, trainSamples, valSamples []sample, 
 			defer wg.Done()
 			c := cfg
 			c.Seed = cfg.Seed + int64(i)*7919
+			c.Member = i
 			ts := append([]sample(nil), trainSamples...)
 			vs := append([]sample(nil), valSamples...)
 			models[i], errs[i] = trainFromSamples(metric, ts, vs, c)

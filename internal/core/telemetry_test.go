@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"costream/internal/sim"
+)
+
+// TestTrainObserverEpochStats checks the per-epoch telemetry hook: one
+// record per epoch per ensemble member, correctly attributed, with
+// plausible losses and durations, and with no effect on the trained
+// weights.
+func TestTrainObserverEpochStats(t *testing.T) {
+	c := testCorpus(t)
+	train, val, _ := c.Split(0.8, 0.1, 4)
+	cfg := fastTrainConfig(8)
+	cfg.Epochs = 3
+
+	var mu sync.Mutex
+	var recs []EpochStats
+	obsCfg := cfg
+	obsCfg.Observer = func(s EpochStats) {
+		mu.Lock()
+		recs = append(recs, s)
+		mu.Unlock()
+	}
+	const k = 2
+	observed, err := TrainEnsemble(train, val, MetricThroughput, obsCfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != k*cfg.Epochs {
+		t.Fatalf("%d epoch records, want %d", len(recs), k*cfg.Epochs)
+	}
+	perMember := map[int]int{}
+	for _, r := range recs {
+		if r.Metric != "throughput" {
+			t.Errorf("record metric %q", r.Metric)
+		}
+		if r.Member < 0 || r.Member >= k {
+			t.Errorf("record member %d out of range", r.Member)
+		}
+		if r.Epoch != perMember[r.Member] {
+			t.Errorf("member %d epoch %d out of order (want %d)", r.Member, r.Epoch, perMember[r.Member])
+		}
+		perMember[r.Member]++
+		if !r.HasVal {
+			t.Errorf("member %d epoch %d: HasVal false with a validation split", r.Member, r.Epoch)
+		}
+		if r.TrainLoss <= 0 || r.ValLoss <= 0 {
+			t.Errorf("member %d epoch %d: losses %g/%g", r.Member, r.Epoch, r.TrainLoss, r.ValLoss)
+		}
+		if r.DurationNS <= 0 {
+			t.Errorf("member %d epoch %d: duration %d", r.Member, r.Epoch, r.DurationNS)
+		}
+	}
+	for m := 0; m < k; m++ {
+		if perMember[m] != cfg.Epochs {
+			t.Errorf("member %d has %d records, want %d", m, perMember[m], cfg.Epochs)
+		}
+	}
+
+	// The observer is purely observational: weights match a plain run.
+	plain, err := TrainEnsemble(train, val, MetricThroughput, cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := c.Traces[0]
+	want, err := plain.PredictValue(tr.Query, tr.Cluster, tr.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := observed.PredictValue(tr.Query, tr.Cluster, tr.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("observer changed training: prediction %g != %g", got, want)
+	}
+}
+
+// TestPredictBatchRecordsInferenceMetrics checks the batched-inference
+// histograms in the default registry accumulate per candidate.
+func TestPredictBatchRecordsInferenceMetrics(t *testing.T) {
+	c := testCorpus(t)
+	train, val, _ := c.Split(0.8, 0.1, 4)
+	cfg := fastTrainConfig(8)
+	cfg.Epochs = 2
+	pr, err := TrainPredictor(train, val, PredictorConfig{Train: cfg, EnsembleSize: 1, Metrics: []Metric{MetricThroughput}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := inferMet()
+	cands0 := met.candidates.Value()
+	featN0 := met.featurizeSeconds.Count()
+	tr := c.Traces[0]
+	placements := []sim.Placement{tr.Placement, tr.Placement}
+	if _, err := pr.PredictBatch(tr.Query, tr.Cluster, placements); err != nil {
+		t.Fatal(err)
+	}
+	if got := met.candidates.Value() - cands0; got != int64(len(placements)) {
+		t.Errorf("candidate counter moved %d, want %d", got, len(placements))
+	}
+	if got := met.featurizeSeconds.Count() - featN0; got != 1 {
+		t.Errorf("featurize histogram moved %d, want 1", got)
+	}
+}

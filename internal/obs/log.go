@@ -1,0 +1,20 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"os"
+)
+
+// NewLogger returns a structured text logger tagged with the component
+// name, at the given level, writing to w (nil selects stderr). The
+// binaries build one per process and hand it to their serving/training
+// layers; libraries accept a *slog.Logger rather than calling this, so
+// tests can pass a silent logger.
+func NewLogger(component string, level slog.Level, w io.Writer) *slog.Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(h).With("component", component)
+}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// StartPprof serves net/http/pprof on addr in a background goroutine,
+// on a private mux so the profiling endpoints never share a public
+// listener. An empty addr is a no-op. logf (may be nil) receives the
+// listen notice and any listener error — profiling is best-effort, so
+// failures never abort the host process. Shared by costream-serve,
+// costream-train and costream-optimize behind their -pprof-addr flags.
+func StartPprof(addr string, logf func(format string, args ...any)) {
+	if addr == "" {
+		return
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		logf("pprof listening on %s (keep it private)", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			logf("pprof listener: %v", err)
+		}
+	}()
+}

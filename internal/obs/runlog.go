@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// RunLog is an append-only JSONL telemetry sink: one JSON object per
+// line, flushed on Close. Training emits per-epoch records here
+// (costream-train -runlog); anything JSON-marshalable can ride along.
+// Write is safe for concurrent use — ensemble members train in parallel
+// and log through one RunLog.
+type RunLog struct {
+	mu  sync.Mutex
+	f   *os.File
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// OpenRunLog opens path for appending, creating it if needed.
+func OpenRunLog(path string) (*RunLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening run log: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	return &RunLog{f: f, bw: bw, enc: json.NewEncoder(bw)}, nil
+}
+
+// Write appends one record as a JSON line.
+func (l *RunLog) Write(rec any) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.enc.Encode(rec)
+}
+
+// Close flushes and closes the underlying file.
+func (l *RunLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.bw.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

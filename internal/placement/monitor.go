@@ -2,8 +2,10 @@ package placement
 
 import (
 	"sort"
+	"sync"
 
 	"costream/internal/hardware"
+	"costream/internal/obs"
 	"costream/internal/sim"
 	"costream/internal/stream"
 )
@@ -21,6 +23,13 @@ type MonitorConfig struct {
 	MaxSteps int
 	// SimCfg configures the underlying execution simulator.
 	SimCfg sim.Config
+	// Predictor, when non-nil, scores every placement the monitor
+	// activates so observed-vs-predicted divergence is tracked: each
+	// MonitorStep carries the prediction and the q-errors land in the
+	// costream_monitor_qerror metric family of the default registry. It
+	// never influences the monitor's decisions, which follow observed
+	// runtime statistics only.
+	Predictor Predictor
 }
 
 // DefaultMonitorConfig mirrors the paper's observation that monitoring
@@ -37,6 +46,10 @@ type MonitorStep struct {
 	// ElapsedS is the wall-clock time since query start at which this
 	// placement became active (monitoring intervals plus migrations).
 	ElapsedS float64
+	// Predicted holds the cost model's estimate for this placement when
+	// MonitorConfig.Predictor was set; nil otherwise (including when the
+	// prediction errored).
+	Predicted *PredCosts
 }
 
 // OnlineMonitoring simulates the monitoring-and-rescheduling loop: start
@@ -55,7 +68,8 @@ func OnlineMonitoring(q *stream.Query, c *hardware.Cluster, initial sim.Placemen
 	if err != nil {
 		return nil, err
 	}
-	steps := []MonitorStep{{Placement: cur, Metrics: m, ElapsedS: 0}}
+	steps := []MonitorStep{{Placement: cur, Metrics: m, ElapsedS: 0,
+		Predicted: predictStep(q, c, cur, m, cfg.Predictor)}}
 	elapsed := 0.0
 	// Moves that were tried and reverted; the scheduler does not repeat
 	// them (it keeps its migration history, as in [1]).
@@ -77,14 +91,77 @@ func OnlineMonitoring(q *stream.Query, c *hardware.Cluster, initial sim.Placemen
 		// tries a different move in the next monitoring window.
 		if !better(nm, last.Metrics) {
 			banned[move] = true
+			monitorMet().reverts.Inc()
 			elapsed += cfg.MigrationCostS // migrating back
-			steps = append(steps, MonitorStep{Placement: last.Placement, Metrics: last.Metrics, ElapsedS: elapsed})
+			steps = append(steps, MonitorStep{Placement: last.Placement, Metrics: last.Metrics, ElapsedS: elapsed, Predicted: last.Predicted})
 			continue
 		}
-		steps = append(steps, MonitorStep{Placement: next, Metrics: nm, ElapsedS: elapsed})
+		monitorMet().migrations.Inc()
+		steps = append(steps, MonitorStep{Placement: next, Metrics: nm, ElapsedS: elapsed,
+			Predicted: predictStep(q, c, next, nm, cfg.Predictor)})
 	}
 	return steps, nil
 }
+
+// predictStep scores one activated placement with the optional monitor
+// predictor and records the observed-vs-predicted divergence (q-error of
+// throughput and processing latency) into the default registry. A nil
+// predictor or a prediction error yields nil without failing the monitor.
+func predictStep(q *stream.Query, c *hardware.Cluster, p sim.Placement, m *sim.Metrics, pred Predictor) *PredCosts {
+	monitorMet().steps.Inc()
+	if pred == nil {
+		return nil
+	}
+	costs, err := pred.PredictPlacement(q, c, p)
+	if err != nil {
+		return nil
+	}
+	met := monitorMet()
+	recordQError(met.qerrLatency, costs.ProcLatencyMS, m.ProcLatencyMS)
+	recordQError(met.qerrThroughput, costs.ThroughputTPS, m.ThroughputTPS)
+	return &costs
+}
+
+// recordQError records max(pred/obs, obs/pred) in milli-units (the
+// histogram exposes base units via scale 1e-3), skipping non-positive
+// pairs where the ratio is undefined.
+func recordQError(h *obs.Histogram, pred, observed float64) {
+	if pred <= 0 || observed <= 0 {
+		return
+	}
+	qerr := pred / observed
+	if qerr < 1 {
+		qerr = 1 / qerr
+	}
+	h.Record(int64(qerr * 1e3))
+}
+
+// monitorMetrics aggregates online-monitoring activity in the default
+// registry.
+type monitorMetrics struct {
+	steps      *obs.Counter
+	migrations *obs.Counter
+	reverts    *obs.Counter
+
+	qerrLatency    *obs.Histogram
+	qerrThroughput *obs.Histogram
+}
+
+var monitorMet = sync.OnceValue(func() *monitorMetrics {
+	r := obs.Default()
+	qerr := func(metric string) *obs.Histogram {
+		return r.Histogram("costream_monitor_qerror",
+			"observed-vs-predicted q-error of placements activated by online monitoring",
+			1e-3, "metric", metric)
+	}
+	return &monitorMetrics{
+		steps:          r.Counter("costream_monitor_steps_total", "placements activated by the online monitoring loop"),
+		migrations:     r.Counter("costream_monitor_migrations_total", "operator migrations kept by online monitoring"),
+		reverts:        r.Counter("costream_monitor_reverts_total", "operator migrations reverted by online monitoring"),
+		qerrLatency:    qerr("proc_latency"),
+		qerrThroughput: qerr("throughput"),
+	}
+})
 
 func better(a, b *sim.Metrics) bool {
 	if a.Success != b.Success {

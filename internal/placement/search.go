@@ -3,6 +3,7 @@ package placement
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"costream/internal/hardware"
 	"costream/internal/sim"
@@ -43,6 +44,12 @@ type SearchOptions struct {
 	// restart points, neighbor subsampling). A fixed seed yields an
 	// identical SearchResult for any Workers value.
 	Seed int64
+	// Telemetry enables per-round RoundStats collection on the
+	// SearchResult (candidates generated/deduped/scored/pruned and the
+	// incumbent anytime curve). It never affects which placement is
+	// chosen; the aggregate costream_search_* metric families in
+	// obs.Default are recorded regardless.
+	Telemetry bool
 }
 
 // SearchResult is the outcome of a Search run.
@@ -66,6 +73,9 @@ type SearchResult struct {
 	// Complete reports that the strategy provably covered the entire
 	// valid-placement space within the budget (only Exhaustive sets it).
 	Complete bool
+	// Telemetry holds per-round stats when SearchOptions.Telemetry was
+	// set; nil otherwise.
+	Telemetry []RoundStats
 }
 
 // Scored is one scored candidate returned by Core.ScoreRound.
@@ -148,6 +158,9 @@ type Core struct {
 	errored  int
 	firstErr error
 
+	collectRounds bool
+	telemetry     []RoundStats
+
 	bestIdx     int
 	fallbackIdx int
 	complete    bool
@@ -160,18 +173,19 @@ func newCore(pred Predictor, q *stream.Query, c *hardware.Cluster, obj Objective
 	}
 	budget = budget.withDefaults()
 	return &Core{
-		pred:        pred,
-		q:           q,
-		c:           c,
-		obj:         obj,
-		budget:      budget,
-		opts:        Options{Workers: opts.Workers},
-		rng:         rand.New(rand.NewSource(opts.Seed)),
-		gen:         gen,
-		seen:        make(map[string]int32, budget.MaxCandidates),
-		records:     make([]Scored, 0, budget.MaxCandidates),
-		bestIdx:     -1,
-		fallbackIdx: -1,
+		pred:          pred,
+		q:             q,
+		c:             c,
+		obj:           obj,
+		budget:        budget,
+		opts:          Options{Workers: opts.Workers},
+		rng:           rand.New(rand.NewSource(opts.Seed)),
+		gen:           gen,
+		seen:          make(map[string]int32, budget.MaxCandidates),
+		records:       make([]Scored, 0, budget.MaxCandidates),
+		bestIdx:       -1,
+		fallbackIdx:   -1,
+		collectRounds: opts.Telemetry,
 	}, nil
 }
 
@@ -247,6 +261,8 @@ func (co *Core) ScoreRound(cands []sim.Placement) []Scored {
 	out := make([]Scored, len(cands))
 	roundOpen := co.budget.MaxRounds <= 0 || co.rounds < co.budget.MaxRounds
 	base := len(co.records)
+	nDups, nSkipped := 0, 0
+	filteredBefore, erroredBefore := co.filtered, co.errored
 	var fresh []sim.Placement
 	var freshOut []int
 	// dups are duplicates of a fresh candidate earlier in this same
@@ -259,6 +275,7 @@ func (co *Core) ScoreRound(cands []sim.Placement) []Scored {
 	for i, p := range cands {
 		co.keyBuf = appendPlacementKey(co.keyBuf[:0], p)
 		if ri, ok := co.seen[string(co.keyBuf)]; ok {
+			nDups++
 			if int(ri) < len(co.records) {
 				out[i] = co.records[ri]
 			} else {
@@ -267,6 +284,7 @@ func (co *Core) ScoreRound(cands []sim.Placement) []Scored {
 			continue
 		}
 		if !roundOpen || base+len(fresh) >= co.budget.MaxCandidates {
+			nSkipped++
 			out[i] = Scored{Placement: append(sim.Placement(nil), p...), Skipped: true}
 			continue
 		}
@@ -276,6 +294,7 @@ func (co *Core) ScoreRound(cands []sim.Placement) []Scored {
 		fresh = append(fresh, cp)
 	}
 	if len(fresh) > 0 {
+		roundStart := time.Now()
 		costs, errs := scoreCandidates(co.pred, co.q, co.c, fresh, co.opts)
 		co.rounds++
 		for j, p := range fresh {
@@ -304,12 +323,51 @@ func (co *Core) ScoreRound(cands []sim.Placement) []Scored {
 			co.records = append(co.records, rec)
 			out[freshOut[j]] = rec
 		}
+		elapsed := time.Since(roundStart)
+		m := searchMet()
+		m.rounds.Inc()
+		m.scored.Add(int64(len(fresh)))
+		m.roundSeconds.Record(elapsed.Nanoseconds())
+		m.filtered.Add(int64(co.filtered - filteredBefore))
+		m.errored.Add(int64(co.errored - erroredBefore))
+		if co.collectRounds {
+			rs := RoundStats{
+				Round:      co.rounds,
+				Submitted:  len(cands),
+				Fresh:      len(fresh),
+				Duplicates: nDups,
+				Skipped:    nSkipped,
+				Filtered:   co.filtered - filteredBefore,
+				Errored:    co.errored - erroredBefore,
+				BestIndex:  -1,
+				ElapsedNS:  elapsed.Nanoseconds(),
+			}
+			if idx := co.incumbent(); idx >= 0 {
+				rs.BestIndex = idx
+				rs.BestScore = co.records[idx].Score
+			}
+			co.telemetry = append(co.telemetry, rs)
+		}
+	}
+	if nDups > 0 || nSkipped > 0 {
+		m := searchMet()
+		m.dups.Add(int64(nDups))
+		m.skipped.Add(int64(nSkipped))
 	}
 	// Resolve intra-round duplicates now that their records exist.
 	for _, d := range dups {
 		out[d.out] = co.records[d.rec]
 	}
 	return out
+}
+
+// incumbent returns the index of the current best candidate under the
+// selection rule (best sane, else cheapest scored), or -1.
+func (co *Core) incumbent() int {
+	if co.bestIdx >= 0 {
+		return co.bestIdx
+	}
+	return co.fallbackIdx
 }
 
 // result packages the core's state into a SearchResult.
@@ -338,6 +396,7 @@ func (co *Core) result(strategy string) (*SearchResult, error) {
 		Filtered:  co.filtered,
 		Errored:   co.errored,
 		Complete:  co.complete,
+		Telemetry: co.telemetry,
 	}, nil
 }
 
@@ -357,7 +416,11 @@ func Search(pred Predictor, q *stream.Query, c *hardware.Cluster, strat Strategy
 	if err := strat.Run(co); err != nil && len(co.records) == 0 {
 		return nil, err
 	}
-	return co.result(strat.Name())
+	res, err := co.result(strat.Name())
+	if err == nil {
+		countRun(strat.Name())
+	}
+	return res, err
 }
 
 // ParseStrategy resolves a strategy name (as used by the CLI -strategy

@@ -18,8 +18,9 @@ type lruCache struct {
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 type cacheEntry struct {
@@ -72,6 +73,7 @@ func (c *lruCache) add(key string, costs placement.PredCosts) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
 	}
 }
 
@@ -93,10 +95,10 @@ func (c *lruCache) capacity() int {
 	return c.max
 }
 
-// counters returns the accumulated hit and miss counts.
-func (c *lruCache) counters() (hits, misses int64) {
+// counters returns the accumulated hit, miss and eviction counts.
+func (c *lruCache) counters() (hits, misses, evictions int64) {
 	if c == nil {
-		return 0, 0
+		return 0, 0, 0
 	}
-	return c.hits.Load(), c.misses.Load()
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
 }

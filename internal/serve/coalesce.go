@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -128,6 +129,15 @@ func (co *coalescer) drain(key string, g *predictGroup) {
 			co.coalesced.Add(int64(len(batch)))
 		}
 		out, err := co.runBatch(g.q, g.c, ps)
+		if errors.Is(err, ErrSaturated) {
+			// Admission failed: re-scoring each request alone would just
+			// queue more work on a saturated server, so fail the whole
+			// batch fast and let clients retry.
+			for _, pr := range batch {
+				pr.ch <- predictResult{err: err, batchSize: len(batch)}
+			}
+			continue
+		}
 		if err != nil || len(out) != len(batch) {
 			// The batch failed as a whole. Re-score each request alone so
 			// one bad request cannot fail the others it was batched with.

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"costream/internal/obs"
+	"costream/internal/placement"
+)
+
+// routeNames lists the stable route labels of the HTTP surface, used for
+// per-route request/error/latency series and the /stats request map.
+var routeNames = []string{"predict", "predict_batch", "optimize", "example", "healthz", "stats", "metrics"}
+
+// serveMetrics is the server's view into its metrics registry: per-route
+// request counters and latency histograms, saturation rejections, and
+// the coalescer batch-size distribution. Cache, in-flight and inference
+// series are registered as Func instruments reading the live structs
+// (see registerFuncs), so they need no fields here.
+type serveMetrics struct {
+	requests  map[string]*obs.Counter
+	errors    map[string]*obs.Counter
+	latency   map[string]*obs.Histogram
+	rejected  *obs.Counter
+	batchSize *obs.Histogram
+}
+
+func newServeMetrics(r *obs.Registry) *serveMetrics {
+	m := &serveMetrics{
+		requests: make(map[string]*obs.Counter, len(routeNames)),
+		errors:   make(map[string]*obs.Counter, len(routeNames)),
+		latency:  make(map[string]*obs.Histogram, len(routeNames)),
+		rejected: r.Counter("costream_http_rejected_total",
+			"requests rejected with 503 because the in-flight limit stayed saturated past the queue timeout"),
+		batchSize: r.Histogram("costream_serve_coalesce_batch_size",
+			"placements scored per coalesced PredictBatch call on the predict path", 1),
+	}
+	for _, route := range routeNames {
+		m.requests[route] = r.Counter("costream_http_requests_total",
+			"HTTP requests received, by route", "route", route)
+		m.errors[route] = r.Counter("costream_http_errors_total",
+			"HTTP responses with status >= 400, by route", "route", route)
+		m.latency[route] = r.Histogram("costream_http_request_seconds",
+			"HTTP request handling time, by route", 1e-9, "route", route)
+	}
+	return m
+}
+
+// registerFuncs exposes the server's live state through scrape-time
+// callbacks. Re-registration replaces the callbacks, so the latest
+// server built against a shared registry (e.g. obs.Default) wins.
+func (s *Server) registerFuncs(r *obs.Registry) {
+	cacheCounter := func(sel func(h, m, e int64) int64, outcome string) {
+		r.CounterFunc("costream_serve_cache_ops_total",
+			"prediction cache operations, by outcome", func() float64 {
+				h, m, e := s.cache.counters()
+				return float64(sel(h, m, e))
+			}, "outcome", outcome)
+	}
+	cacheCounter(func(h, _, _ int64) int64 { return h }, "hit")
+	cacheCounter(func(_, m, _ int64) int64 { return m }, "miss")
+	cacheCounter(func(_, _, e int64) int64 { return e }, "eviction")
+	r.GaugeFunc("costream_serve_cache_entries",
+		"prediction cache occupancy in entries", func() float64 { return float64(s.cache.len()) })
+
+	r.GaugeFunc("costream_serve_in_flight",
+		"predictor calls currently executing", func() float64 { return float64(s.inflight.Load()) })
+	r.GaugeFunc("costream_serve_max_in_flight",
+		"configured bound on concurrent predictor calls", func() float64 { return float64(cap(s.sem)) })
+
+	coalesce := func(name, help string, v func() int64) {
+		r.CounterFunc(name, help, func() float64 { return float64(v()) })
+	}
+	coalesce("costream_serve_coalesce_enqueued_total",
+		"predict requests that reached the coalescer (cache misses)", s.co.enqueued.Load)
+	coalesce("costream_serve_coalesce_batches_total",
+		"PredictBatch calls issued by the coalescer", s.co.batches.Load)
+	coalesce("costream_serve_coalesce_coalesced_total",
+		"predict requests that shared a batch with at least one other", s.co.coalesced.Load)
+
+	if rep, ok := s.pred.(placement.PathStatsReporter); ok {
+		path := func(path string, calls func(placement.InferencePathStats) int64, nanos func(placement.InferencePathStats) int64) {
+			r.CounterFunc("costream_inference_path_calls_total",
+				"full-ensemble evaluations, by inference path", func() float64 {
+					return float64(calls(rep.InferencePathStats()))
+				}, "path", path)
+			r.CounterFunc("costream_inference_path_seconds_total",
+				"wall time spent in full-ensemble evaluations, by inference path", func() float64 {
+					return float64(nanos(rep.InferencePathStats())) * 1e-9
+				}, "path", path)
+		}
+		path("stacked",
+			func(ps placement.InferencePathStats) int64 { return ps.StackedCalls },
+			func(ps placement.InferencePathStats) int64 { return ps.StackedNanos })
+		path("fallback",
+			func(ps placement.InferencePathStats) int64 { return ps.FallbackCalls },
+			func(ps placement.InferencePathStats) int64 { return ps.FallbackNanos })
+	}
+}
+
+// statusRecorder captures the response status for per-route error
+// counting without changing handler code.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// route wraps a handler with the per-route instrumentation: request
+// counter, latency histogram, and error counter on status >= 400.
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	reqs, errs, lat := s.met.requests[name], s.met.errors[name], s.met.latency[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sr, r)
+		lat.Since(start)
+		if sr.status >= 400 {
+			errs.Inc()
+		}
+	}
+}

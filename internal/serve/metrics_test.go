@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"costream/internal/obs"
+	"costream/internal/sim"
+)
+
+// TestMetricsEndpointExposition is the /metrics acceptance check: after
+// real traffic across the predict and optimize paths, the exposition
+// parses as valid Prometheus text and covers the serve, inference and
+// search metric families.
+func TestMetricsEndpointExposition(t *testing.T) {
+	// The default registry is shared process-wide on purpose: the search
+	// families recorded by internal/placement must appear on the same
+	// scrape as the server's own series.
+	s := newTestServer(t, Config{Registry: obs.Default()})
+	q, c := testQuery(t), testCluster()
+
+	body := PredictRequest{Query: q, Cluster: c, Placement: sim.Placement{0, 1, 2}}
+	if w := doJSON(t, s, http.MethodPost, "/v1/predict", body); w.Code != http.StatusOK {
+		t.Fatalf("predict status %d: %s", w.Code, w.Body)
+	}
+	// Second identical request exercises the cache-hit counter.
+	doJSON(t, s, http.MethodPost, "/v1/predict", body)
+	if w := doJSON(t, s, http.MethodPost, "/v1/optimize", OptimizeRequest{Query: q, Cluster: c, Candidates: 8}); w.Code != http.StatusOK {
+		t.Fatalf("optimize status %d: %s", w.Code, w.Body)
+	}
+
+	w := doJSON(t, s, http.MethodGet, "/metrics", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	text := w.Body.Bytes()
+	if err := obs.ValidateExposition(text); err != nil {
+		t.Fatalf("invalid Prometheus exposition: %v\n%s", err, text)
+	}
+	for _, family := range []string{
+		"costream_http_requests_total",
+		"costream_http_errors_total",
+		"costream_http_request_seconds",
+		"costream_http_rejected_total",
+		"costream_serve_cache_ops_total",
+		"costream_serve_cache_entries",
+		"costream_serve_coalesce_batches_total",
+		"costream_serve_coalesce_batch_size",
+		"costream_serve_in_flight",
+		"costream_search_rounds_total",
+		"costream_search_candidates_total",
+		"costream_search_runs_total",
+	} {
+		if !strings.Contains(string(text), family) {
+			t.Errorf("exposition missing family %s", family)
+		}
+	}
+	if !strings.Contains(string(text), `costream_http_requests_total{route="predict"} 2`) {
+		t.Errorf("per-route predict counter not at 2:\n%s", text)
+	}
+}
+
+// TestInferencePathFuncMetrics checks predictors reporting path stats
+// get per-path Func counters on the scrape.
+func TestInferencePathFuncMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{Predictor: &pathStatsPred{}, Registry: reg})
+	body := PredictRequest{Query: testQuery(t), Cluster: testCluster(), Placement: sim.Placement{0, 1, 2}}
+	if w := doJSON(t, s, http.MethodPost, "/v1/predict", body); w.Code != http.StatusOK {
+		t.Fatalf("predict status %d: %s", w.Code, w.Body)
+	}
+	w := doJSON(t, s, http.MethodGet, "/metrics", nil)
+	text := w.Body.String()
+	if !strings.Contains(text, `costream_inference_path_calls_total{path="stacked"} 8`) {
+		t.Errorf("stacked path counter missing or wrong:\n%s", text)
+	}
+	if !strings.Contains(text, `costream_inference_path_seconds_total{path="fallback"}`) {
+		t.Errorf("fallback path seconds missing:\n%s", text)
+	}
+}
+
+// postOptimize POSTs an optimize request and decodes the response.
+func postOptimize(t *testing.T, s *Server, req OptimizeRequest) OptimizeResponse {
+	t.Helper()
+	w := doJSON(t, s, http.MethodPost, "/v1/optimize", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("optimize status %d: %s", w.Code, w.Body)
+	}
+	var resp OptimizeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestPredictTraceHeader checks every predict response carries the
+// request's span ID.
+func TestPredictTraceHeader(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := PredictRequest{Query: testQuery(t), Cluster: testCluster(), Placement: sim.Placement{0, 1, 2}}
+	w := doJSON(t, s, http.MethodPost, "/v1/predict", body)
+	id := w.Header().Get("X-Costream-Trace")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(id) {
+		t.Errorf("trace header %q, want 16 hex digits", id)
+	}
+	w2 := doJSON(t, s, http.MethodPost, "/v1/predict", body)
+	if id2 := w2.Header().Get("X-Costream-Trace"); id2 == id {
+		t.Errorf("two requests share trace ID %s", id)
+	}
+}
+
+// TestOptimizeDebugStanza checks the opt-in per-round telemetry in the
+// optimize response.
+func TestOptimizeDebugStanza(t *testing.T) {
+	s := newTestServer(t, Config{})
+	q, c := testQuery(t), testCluster()
+
+	plain := postOptimize(t, s, OptimizeRequest{Query: q, Cluster: c, Candidates: 8})
+	if plain.Debug != nil {
+		t.Fatalf("debug stanza present without opting in: %+v", plain.Debug)
+	}
+
+	dbg := postOptimize(t, s, OptimizeRequest{Query: q, Cluster: c, Candidates: 8, Debug: true})
+	if dbg.Debug == nil {
+		t.Fatal("debug stanza missing")
+	}
+	if len(dbg.Debug.Rounds) != dbg.Rounds {
+		t.Errorf("%d debug rounds, want %d", len(dbg.Debug.Rounds), dbg.Rounds)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(dbg.Debug.TraceID) {
+		t.Errorf("debug trace ID %q", dbg.Debug.TraceID)
+	}
+	fresh := 0
+	for _, rs := range dbg.Debug.Rounds {
+		fresh += rs.Fresh
+	}
+	if fresh != dbg.Examined {
+		t.Errorf("debug fresh sum %d != examined %d", fresh, dbg.Examined)
+	}
+	// Telemetry must not change the selection.
+	if plain.Index != dbg.Index || plain.Costs != dbg.Costs {
+		t.Errorf("debug changed selection: %d/%v vs %d/%v", plain.Index, plain.Costs, dbg.Index, dbg.Costs)
+	}
+}
+
+// TestSaturationReturns503 checks the admission path: when the in-flight
+// semaphore stays full past the queue timeout, requests are rejected
+// with 503 + Retry-After instead of queueing without bound, and the
+// rejection is counted.
+func TestSaturationReturns503(t *testing.T) {
+	s := newTestServer(t, Config{
+		Predictor:    &fakePred{delay: 300 * time.Millisecond},
+		MaxInFlight:  1,
+		QueueTimeout: 20 * time.Millisecond,
+		CacheSize:    -1,
+	})
+	q, c := testQuery(t), testCluster()
+	batch := PredictBatchRequest{Query: q, Cluster: c, Placements: []sim.Placement{{0, 1, 2}}}
+
+	var wg sync.WaitGroup
+	codes := make([]int, 2)
+	retryAfter := make([]string, 2)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := doJSON(t, s, http.MethodPost, "/v1/predict-batch", batch)
+			codes[i] = w.Code
+			retryAfter[i] = w.Header().Get("Retry-After")
+		}(i)
+		// Stagger so the first request holds the only slot.
+		time.Sleep(50 * time.Millisecond)
+	}
+	wg.Wait()
+
+	if codes[0] != http.StatusOK {
+		t.Errorf("first request status %d, want 200", codes[0])
+	}
+	if codes[1] != http.StatusServiceUnavailable {
+		t.Fatalf("second request status %d, want 503", codes[1])
+	}
+	if retryAfter[1] == "" {
+		t.Error("503 response missing Retry-After header")
+	}
+	if got := s.snapshotStats().Rejected; got != 1 {
+		t.Errorf("stats rejected = %d, want 1", got)
+	}
+	if got := s.met.rejected.Value(); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+
+	// A negative QueueTimeout restores unbounded waiting: the same load
+	// pattern succeeds on both requests.
+	s2 := newTestServer(t, Config{
+		Predictor:    &fakePred{delay: 100 * time.Millisecond},
+		MaxInFlight:  1,
+		QueueTimeout: -1,
+		CacheSize:    -1,
+	})
+	var wg2 sync.WaitGroup
+	codes2 := make([]int, 2)
+	for i := range codes2 {
+		wg2.Add(1)
+		go func(i int) {
+			defer wg2.Done()
+			w := doJSON(t, s2, http.MethodPost, "/v1/predict-batch", batch)
+			codes2[i] = w.Code
+		}(i)
+		time.Sleep(20 * time.Millisecond)
+	}
+	wg2.Wait()
+	for i, code := range codes2 {
+		if code != http.StatusOK {
+			t.Errorf("blocking mode request %d status %d, want 200", i, code)
+		}
+	}
+}
+
+// TestSaturatedCoalescerFailsFast checks the coalescer does not retry
+// each member of a saturated batch individually.
+func TestSaturatedCoalescerFailsFast(t *testing.T) {
+	pred := &fakePred{delay: 300 * time.Millisecond}
+	s := newTestServer(t, Config{
+		Predictor:    pred,
+		MaxInFlight:  1,
+		QueueTimeout: 20 * time.Millisecond,
+		CacheSize:    -1,
+	})
+	q, c := testQuery(t), testCluster()
+
+	// Hold the only slot with a batch request, then send a predict that
+	// must go through the coalescer and find the server saturated.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		doJSON(t, s, http.MethodPost, "/v1/predict-batch",
+			PredictBatchRequest{Query: q, Cluster: c, Placements: []sim.Placement{{0, 1, 2}}})
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	calls0 := pred.batchCalls.Load()
+	w := doJSON(t, s, http.MethodPost, "/v1/predict",
+		PredictRequest{Query: q, Cluster: c, Placement: sim.Placement{0, 0, 1}})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("predict status %d, want 503: %s", w.Code, w.Body)
+	}
+	wg.Wait()
+	// The saturated batch must not have been re-driven through the
+	// single-prediction fallback (which would queue more work).
+	if got := pred.batchCalls.Load() - calls0; got != 0 {
+		t.Errorf("saturated coalescer issued %d extra batch calls", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"costream/internal/core"
 	"costream/internal/dataset"
 	"costream/internal/hardware"
+	"costream/internal/obs"
 	"costream/internal/placement"
 	"costream/internal/sim"
 	"costream/internal/stream"
@@ -96,6 +97,12 @@ func newTestServer(t testing.TB, cfg Config) *Server {
 	t.Helper()
 	if cfg.Predictor == nil {
 		cfg.Predictor = &fakePred{}
+	}
+	// Isolate each test server's metrics: the process-wide default
+	// registry would accumulate counts across tests that assert exact
+	// values.
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
 	}
 	s, err := New(cfg)
 	if err != nil {
@@ -208,7 +215,7 @@ func TestCacheHitEquivalence(t *testing.T) {
 	if got := warm.Header().Get("X-Costream-Cache"); got != "hit" {
 		t.Errorf("second request cache header %q, want hit", got)
 	}
-	hits, misses := s.cache.counters()
+	hits, misses, _ := s.cache.counters()
 	if hits != 1 || misses != 1 {
 		t.Errorf("cache counters hits=%d misses=%d, want 1/1", hits, misses)
 	}
@@ -747,7 +754,7 @@ func TestConcurrentPredictRace(t *testing.T) {
 	if st.Requests["predict"] != clients {
 		t.Errorf("predict requests %d, want %d", st.Requests["predict"], clients)
 	}
-	hits, _ := s.cache.counters()
+	hits, _, _ := s.cache.counters()
 	if got := st.Coalesce.Enqueued + hits; got != clients {
 		t.Errorf("enqueued(%d) + cache hits(%d) = %d, want %d", st.Coalesce.Enqueued, hits, got, clients)
 	}

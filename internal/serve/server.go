@@ -12,7 +12,8 @@
 //	                        (random / exhaustive / beam / local-search)
 //	GET  /v1/example        a ready-to-POST sample predict request
 //	GET  /healthz           liveness plus model provenance
-//	GET  /stats             request, cache and coalescing counters
+//	GET  /stats             request, cache and coalescing counters (JSON)
+//	GET  /metrics           Prometheus text exposition (the canonical feed)
 //
 // The hot path is engineered for concurrent load: responses are served
 // from a bounded LRU keyed by a (query, cluster, placement) fingerprint;
@@ -27,7 +28,9 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"runtime"
@@ -35,6 +38,7 @@ import (
 	"time"
 
 	"costream/internal/hardware"
+	"costream/internal/obs"
 	"costream/internal/placement"
 	"costream/internal/sim"
 	"costream/internal/stream"
@@ -69,7 +73,28 @@ type Config struct {
 	// ModelInfo is surfaced verbatim under "model" in /healthz —
 	// typically the artifact's provenance.
 	ModelInfo any
+	// Registry receives the server's metric series and backs GET
+	// /metrics. Nil selects the process-wide obs.Default() registry (so
+	// placement-search and inference families recorded elsewhere in the
+	// process appear on the same scrape).
+	Registry *obs.Registry
+	// Logger, when set, receives structured request traces (one debug
+	// record per instrumented request, with per-stage timings).
+	Logger *slog.Logger
+	// QueueTimeout bounds how long a request may wait for an in-flight
+	// slot before being rejected with 503 and a Retry-After header. Zero
+	// selects DefaultQueueTimeout; negative waits forever (the pre-503
+	// behavior).
+	QueueTimeout time.Duration
 }
+
+// DefaultQueueTimeout is the in-flight queue wait bound when Config
+// leaves QueueTimeout zero.
+const DefaultQueueTimeout = 2 * time.Second
+
+// ErrSaturated is returned by the admission path when the in-flight
+// semaphore stays full past the queue timeout; handlers map it to 503.
+var ErrSaturated = errors.New("server saturated: too much predictor work in flight")
 
 // DefaultCacheSize is the prediction cache capacity when Config leaves
 // CacheSize zero.
@@ -77,24 +102,22 @@ const DefaultCacheSize = 4096
 
 // Server is the HTTP handler for one loaded cost model.
 type Server struct {
-	cfg   Config
-	pred  placement.BatchPredictor
-	mux   *http.ServeMux
-	cache *lruCache
-	co    *coalescer
-	sem   chan struct{}
-	start time.Time
+	cfg          Config
+	pred         placement.BatchPredictor
+	mux          *http.ServeMux
+	cache        *lruCache
+	co           *coalescer
+	sem          chan struct{}
+	start        time.Time
+	queueTimeout time.Duration
+	reg          *obs.Registry
+	met          *serveMetrics
+	logger       *slog.Logger
 	// example is the precomputed /v1/example response body: the sample
 	// request is deterministic (fixed seed), so it is built once.
 	example []byte
 
-	reqPredict  atomic.Int64
-	reqBatch    atomic.Int64
-	reqOptimize atomic.Int64
-	reqHealth   atomic.Int64
-	reqStats    atomic.Int64
-	errorCount  atomic.Int64
-	inflight    atomic.Int64
+	inflight atomic.Int64
 }
 
 // New validates the configuration and builds the server.
@@ -110,22 +133,39 @@ func New(cfg Config) (*Server, error) {
 	if maxInFlight <= 0 {
 		maxInFlight = runtime.GOMAXPROCS(0)
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	queueTimeout := cfg.QueueTimeout
+	if queueTimeout == 0 {
+		queueTimeout = DefaultQueueTimeout
+	}
 	s := &Server{
-		cfg:   cfg,
-		pred:  cfg.Predictor,
-		mux:   http.NewServeMux(),
-		cache: newLRUCache(cacheSize),
-		sem:   make(chan struct{}, maxInFlight),
-		start: time.Now(),
+		cfg:          cfg,
+		pred:         cfg.Predictor,
+		mux:          http.NewServeMux(),
+		cache:        newLRUCache(cacheSize),
+		sem:          make(chan struct{}, maxInFlight),
+		start:        time.Now(),
+		queueTimeout: queueTimeout,
+		reg:          reg,
+		met:          newServeMetrics(reg),
+		logger:       cfg.Logger,
 	}
 	s.co = newCoalescer(
 		func(q *stream.Query, c *hardware.Cluster, ps []sim.Placement) ([]placement.PredCosts, error) {
-			s.acquire()
+			if err := s.acquire(); err != nil {
+				return nil, err
+			}
 			defer s.release()
+			s.met.batchSize.Record(int64(len(ps)))
 			return s.pred.PredictBatch(q, c, ps)
 		},
 		func(q *stream.Query, c *hardware.Cluster, p sim.Placement) (placement.PredCosts, error) {
-			s.acquire()
+			if err := s.acquire(); err != nil {
+				return placement.PredCosts{}, err
+			}
 			defer s.release()
 			return s.pred.PredictPlacement(q, c, p)
 		},
@@ -136,12 +176,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.example = example
-	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
-	s.mux.HandleFunc("POST /v1/predict-batch", s.handlePredictBatch)
-	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
-	s.mux.HandleFunc("GET /v1/example", s.handleExample)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.registerFuncs(reg)
+	s.mux.HandleFunc("POST /v1/predict", s.route("predict", s.handlePredict))
+	s.mux.HandleFunc("POST /v1/predict-batch", s.route("predict_batch", s.handlePredictBatch))
+	s.mux.HandleFunc("POST /v1/optimize", s.route("optimize", s.handleOptimize))
+	s.mux.HandleFunc("GET /v1/example", s.route("example", s.handleExample))
+	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /stats", s.route("stats", s.handleStats))
+	s.mux.Handle("GET /metrics", s.route("metrics", reg.Handler().ServeHTTP))
 	return s, nil
 }
 
@@ -151,14 +193,50 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-func (s *Server) acquire() {
-	s.sem <- struct{}{}
-	s.inflight.Add(1)
+// acquire claims an in-flight slot, waiting at most the queue timeout.
+// A saturated server answers ErrSaturated instead of queueing without
+// bound (negative QueueTimeout restores unbounded waiting).
+func (s *Server) acquire() error {
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		return nil
+	default:
+	}
+	if s.queueTimeout < 0 {
+		s.sem <- struct{}{}
+		s.inflight.Add(1)
+		return nil
+	}
+	t := time.NewTimer(s.queueTimeout)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		return nil
+	case <-t.C:
+		s.met.rejected.Inc()
+		return ErrSaturated
+	}
 }
 
 func (s *Server) release() {
 	s.inflight.Add(-1)
 	<-s.sem
+}
+
+// writeSaturated maps ErrSaturated to 503 with a Retry-After hint.
+func (s *Server) writeSaturated(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	s.writeError(w, http.StatusServiceUnavailable, "%v", ErrSaturated)
+}
+
+// logSpan emits one structured trace record for a finished span.
+func (s *Server) logSpan(sp *obs.Span) {
+	if s.logger == nil {
+		return
+	}
+	s.logger.Debug("request trace", "span", sp.String())
 }
 
 // Request / response schemas. Query, cluster and placement use the same
@@ -204,6 +282,10 @@ type OptimizeRequest struct {
 	// Seed drives the search. Omitted: DefaultOptimizeSeed; an explicit
 	// 0 is honored (it is a seed like any other).
 	Seed *int64 `json:"seed,omitempty"`
+	// Debug opts into per-round search telemetry in the response (the
+	// "debug" stanza: per-round candidate dispositions and the incumbent
+	// anytime curve). It never changes the chosen placement.
+	Debug bool `json:"debug,omitempty"`
 }
 
 // Costs is the JSON form of the five predicted cost metrics.
@@ -257,6 +339,18 @@ type OptimizeResponse struct {
 	// or DefaultOptimizeSeed when omitted).
 	Index int   `json:"index"`
 	Seed  int64 `json:"seed"`
+	// Debug carries per-round search telemetry when the request set
+	// "debug": true; omitted otherwise.
+	Debug *OptimizeDebug `json:"debug,omitempty"`
+}
+
+// OptimizeDebug is the opt-in search telemetry stanza of an optimize
+// response.
+type OptimizeDebug struct {
+	// TraceID is the request's span ID (also in X-Costream-Trace).
+	TraceID string `json:"trace_id"`
+	// Rounds holds one entry per generate->score->prune round.
+	Rounds []placement.RoundStats `json:"rounds"`
 }
 
 type errorResponse struct {
@@ -280,7 +374,6 @@ func fingerprint(vals ...any) (string, error) {
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	var buf bytes.Buffer
 	if err := json.NewEncoder(&buf).Encode(v); err != nil {
-		s.errorCount.Add(1)
 		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
 		return
 	}
@@ -290,7 +383,6 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	s.errorCount.Add(1)
 	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
@@ -321,7 +413,9 @@ func validatePair(q *stream.Query, c *hardware.Cluster) error {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	s.reqPredict.Add(1)
+	sp := obs.StartSpan("predict")
+	defer func() { sp.End(); s.logSpan(sp) }()
+	w.Header().Set("X-Costream-Trace", sp.ID())
 	var req PredictRequest
 	if err := decodeRequest(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
@@ -335,6 +429,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "invalid placement: %v", err)
 		return
 	}
+	sp.Stage("decode")
 
 	groupKey, err := fingerprint(req.Query, req.Cluster)
 	if err != nil {
@@ -348,13 +443,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	cacheKey = groupKey + "/" + cacheKey
 
-	if costs, ok := s.cache.get(cacheKey); ok {
+	hit, ok := s.cache.get(cacheKey)
+	sp.Stage("cache")
+	if ok {
 		w.Header().Set("X-Costream-Cache", "hit")
-		s.writeJSON(w, http.StatusOK, PredictResponse{Costs: toCosts(costs)})
+		s.writeJSON(w, http.StatusOK, PredictResponse{Costs: toCosts(hit)})
 		return
 	}
 	res := s.co.predict(groupKey, req.Query, req.Cluster, req.Placement)
+	sp.Stage("score")
 	if res.err != nil {
+		if errors.Is(res.err, ErrSaturated) {
+			s.writeSaturated(w)
+			return
+		}
 		s.writeError(w, http.StatusUnprocessableEntity, "prediction failed: %v", res.err)
 		return
 	}
@@ -362,10 +464,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Costream-Cache", "miss")
 	w.Header().Set("X-Costream-Batch-Size", fmt.Sprint(res.batchSize))
 	s.writeJSON(w, http.StatusOK, PredictResponse{Costs: toCosts(res.costs)})
+	sp.Stage("merge")
 }
 
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
-	s.reqBatch.Add(1)
 	var req PredictBatchRequest
 	if err := decodeRequest(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
@@ -389,7 +491,10 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.acquire()
+	if err := s.acquire(); err != nil {
+		s.writeSaturated(w)
+		return
+	}
 	out, err := s.pred.PredictBatch(req.Query, req.Cluster, req.Placements)
 	s.release()
 	if err != nil {
@@ -404,7 +509,9 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	s.reqOptimize.Add(1)
+	sp := obs.StartSpan("optimize")
+	defer func() { sp.End(); s.logSpan(sp) }()
+	w.Header().Set("X-Costream-Trace", sp.ID())
 	var req OptimizeRequest
 	if err := decodeRequest(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
@@ -447,16 +554,21 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if req.Seed != nil {
 		seed = *req.Seed
 	}
-	s.acquire()
+	sp.Stage("decode")
+	if err := s.acquire(); err != nil {
+		s.writeSaturated(w)
+		return
+	}
 	res, err := placement.Search(s.pred, req.Query, req.Cluster, strat, obj,
 		placement.Budget{MaxCandidates: k, MaxRounds: req.Rounds},
-		placement.SearchOptions{Workers: s.cfg.OptimizeWorkers, Seed: seed})
+		placement.SearchOptions{Workers: s.cfg.OptimizeWorkers, Seed: seed, Telemetry: req.Debug})
 	s.release()
+	sp.Stage("search")
 	if err != nil {
 		s.writeError(w, http.StatusUnprocessableEntity, "optimization failed: %v", err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, OptimizeResponse{
+	resp := OptimizeResponse{
 		Placement:  res.Placement,
 		Costs:      toCosts(res.Costs),
 		Candidates: res.Examined,
@@ -467,7 +579,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		Examined:   res.Examined,
 		Index:      res.Index,
 		Seed:       seed,
-	})
+	}
+	if req.Debug {
+		resp.Debug = &OptimizeDebug{TraceID: sp.ID(), Rounds: res.Telemetry}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func parseObjective(name string) (placement.Objective, error) {
@@ -514,7 +630,6 @@ type healthResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.reqHealth.Add(1)
 	s.writeJSON(w, http.StatusOK, healthResponse{
 		Status:  "ok",
 		UptimeS: time.Since(s.start).Seconds(),
@@ -522,13 +637,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// Stats is the /stats payload.
+// Stats is the /stats payload: a JSON snapshot of the same counters the
+// Prometheus endpoint exposes. GET /metrics is the canonical feed for
+// scraping; /stats remains as the human-friendly summary.
 type Stats struct {
 	UptimeS  float64        `json:"uptime_s"`
 	Requests map[string]int `json:"requests"`
 	Errors   int64          `json:"errors"`
-	Cache    CacheStats     `json:"cache"`
-	Coalesce CoalesceStats  `json:"coalescing"`
+	// Rejected counts requests answered 503 because the in-flight limit
+	// stayed saturated past the queue timeout.
+	Rejected int64         `json:"rejected"`
+	Cache    CacheStats    `json:"cache"`
+	Coalesce CoalesceStats `json:"coalescing"`
 	// InFlight is the predictor work currently executing; MaxInFlight is
 	// the semaphore bound.
 	InFlight    int64 `json:"in_flight"`
@@ -561,10 +681,11 @@ func newInferenceStats(ps placement.InferencePathStats) *InferenceStats {
 
 // CacheStats describes the prediction cache.
 type CacheStats struct {
-	Size     int   `json:"size"`
-	Capacity int   `json:"capacity"`
-	Hits     int64 `json:"hits"`
-	Misses   int64 `json:"misses"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
 }
 
 // CoalesceStats describes request coalescing on the predict path.
@@ -578,26 +699,28 @@ type CoalesceStats struct {
 }
 
 func (s *Server) snapshotStats() Stats {
-	hits, misses := s.cache.counters()
+	hits, misses, evictions := s.cache.counters()
 	var inference *InferenceStats
 	if rep, ok := s.pred.(placement.PathStatsReporter); ok {
 		inference = newInferenceStats(rep.InferencePathStats())
 	}
+	requests := make(map[string]int, len(routeNames))
+	var errs int64
+	for _, route := range routeNames {
+		requests[route] = int(s.met.requests[route].Value())
+		errs += s.met.errors[route].Value()
+	}
 	return Stats{
-		UptimeS: time.Since(s.start).Seconds(),
-		Requests: map[string]int{
-			"predict":       int(s.reqPredict.Load()),
-			"predict_batch": int(s.reqBatch.Load()),
-			"optimize":      int(s.reqOptimize.Load()),
-			"healthz":       int(s.reqHealth.Load()),
-			"stats":         int(s.reqStats.Load()),
-		},
-		Errors: s.errorCount.Load(),
+		UptimeS:  time.Since(s.start).Seconds(),
+		Requests: requests,
+		Errors:   errs,
+		Rejected: s.met.rejected.Value(),
 		Cache: CacheStats{
-			Size:     s.cache.len(),
-			Capacity: s.cache.capacity(),
-			Hits:     hits,
-			Misses:   misses,
+			Size:      s.cache.len(),
+			Capacity:  s.cache.capacity(),
+			Hits:      hits,
+			Misses:    misses,
+			Evictions: evictions,
 		},
 		Coalesce: CoalesceStats{
 			Enqueued:  s.co.enqueued.Load(),
@@ -611,6 +734,5 @@ func (s *Server) snapshotStats() Stats {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.reqStats.Add(1)
 	s.writeJSON(w, http.StatusOK, s.snapshotStats())
 }
