@@ -44,6 +44,10 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 0, "max concurrent model evaluations (0 = GOMAXPROCS)")
 		optWorkers  = flag.Int("optimize-workers", 0, "scoring workers per optimize request (0 = GOMAXPROCS)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		readTO      = flag.Duration("read-timeout", 30*time.Second, "max duration to read one request incl. body (0 disables)")
+		writeTO     = flag.Duration("write-timeout", 2*time.Minute, "max duration to write one response; bounds slow optimize searches (0 disables)")
+		idleTO      = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection (0 disables)")
+		maxBody     = flag.Int64("max-body", serve.DefaultMaxRequestBytes, "max request body bytes; larger bodies are answered 413")
 		pprofAddr   = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty disables; keep it private)")
 		fast32      = flag.Bool("fast32", false, "run stacked ensemble inference in float32 (faster, ~1e-4 relative drift)")
 		traceLog    = flag.Bool("trace-log", false, "log one structured trace record per instrumented request (debug level)")
@@ -81,14 +85,22 @@ func main() {
 		OptimizeWorkers: *optWorkers,
 		ModelInfo:       prov,
 		Logger:          logger,
+		MaxRequestBytes: *maxBody,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Server-side timeouts so a stalled or malicious peer cannot pin a
+	// connection goroutine forever. WriteTimeout is generous: it covers
+	// the whole handler, including long /v1/optimize searches (which a
+	// closed connection now cancels via the request context).
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTO,
+		WriteTimeout:      *writeTO,
+		IdleTimeout:       *idleTO,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -29,6 +29,7 @@
 package costream
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"costream/internal/artifact"
 	"costream/internal/core"
 	"costream/internal/dataset"
+	"costream/internal/fleet"
 	"costream/internal/hardware"
 	"costream/internal/placement"
 	"costream/internal/sim"
@@ -161,6 +163,43 @@ const (
 	MinE2ELatency  = placement.MinE2ELatency
 	MaxThroughput  = placement.MaxThroughput
 )
+
+// Re-exported fleet failure-injection simulator types (internal/fleet,
+// driven by cmd/costream-sim). A FleetScenario declares a host fleet, a
+// timed failure-event script and end-state assertions; RunFleetScenario
+// walks the script with a self-healing placement loop that re-optimizes
+// on observed-vs-predicted drift.
+type (
+	// FleetScenario is a parsed fleet simulation scenario.
+	FleetScenario = fleet.Scenario
+	// FleetReport is the deterministic JSON run report: event timeline,
+	// per-query q-error trajectories, recovery actions and assertion
+	// outcomes.
+	FleetReport = fleet.Report
+	// FleetRunOptions tunes a scenario run (predictor, observation
+	// window, worker bound, progress logging).
+	FleetRunOptions = fleet.RunOptions
+	// CostPredictor scores placements during search and recovery;
+	// *Model satisfies it via Model.Predictor.
+	CostPredictor = placement.Predictor
+)
+
+// ParseFleetScenario parses and validates a scenario document.
+func ParseFleetScenario(data []byte) (*FleetScenario, error) { return fleet.Parse(data) }
+
+// LoadFleetScenario reads, parses and validates a scenario file.
+func LoadFleetScenario(path string) (*FleetScenario, error) { return fleet.Load(path) }
+
+// RunFleetScenario executes the scenario and returns its report; ctx
+// cancels long placement searches mid-run. The report is deterministic
+// for a fixed scenario, including across worker counts.
+func RunFleetScenario(ctx context.Context, sc *FleetScenario, opts FleetRunOptions) (*FleetReport, error) {
+	return fleet.Run(ctx, sc, opts)
+}
+
+// Predictor exposes the trained model as a placement cost predictor for
+// FleetRunOptions.Predictor and other search entry points.
+func (m *Model) Predictor() CostPredictor { return m.pred }
 
 // NewQueryBuilder returns an empty query builder.
 func NewQueryBuilder() *QueryBuilder { return stream.NewBuilder() }
@@ -344,7 +383,15 @@ func (m *Model) OptimizePlacementSearch(q *Query, c *Cluster, strat SearchStrate
 // collection is purely observational: the chosen placement is identical
 // with it on or off.
 func (m *Model) OptimizePlacementSearchOpts(q *Query, c *Cluster, strat SearchStrategy, obj Objective, budget SearchBudget, opts SearchOpts) (*SearchResult, error) {
-	res, err := placement.Search(m.pred, q, c, strat, obj, budget, opts)
+	return m.OptimizePlacementSearchCtx(context.Background(), q, c, strat, obj, budget, opts)
+}
+
+// OptimizePlacementSearchCtx is OptimizePlacementSearchOpts with a
+// context. Cancellation stops the search at the next scoring batch and
+// returns the best placement found so far with SearchResult.Cancelled
+// set; it errors only when no candidate was scored before the cancel.
+func (m *Model) OptimizePlacementSearchCtx(ctx context.Context, q *Query, c *Cluster, strat SearchStrategy, obj Objective, budget SearchBudget, opts SearchOpts) (*SearchResult, error) {
+	res, err := placement.SearchCtx(ctx, m.pred, q, c, strat, obj, budget, opts)
 	if err != nil {
 		return nil, fmt.Errorf("costream: %w", err)
 	}

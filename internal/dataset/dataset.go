@@ -288,9 +288,17 @@ func Build(cfg BuildConfig) (*Corpus, error) {
 	return out, nil
 }
 
+// TraceSeed derives the workload-generator seed of trace i in a corpus
+// built with the given corpus seed. Exported so other samplers (the
+// scenario registry's QuerySampler, the fleet simulator) can reproduce
+// exactly the query of trace i without building a corpus.
+func TraceSeed(corpusSeed int64, i int) int64 {
+	return corpusSeed*1_000_003 + int64(i)
+}
+
 func buildOne(cfg BuildConfig, i int) (*Trace, error) {
 	genCfg := cfg.Gen
-	genCfg.Seed = cfg.Seed*1_000_003 + int64(i)
+	genCfg.Seed = TraceSeed(cfg.Seed, i)
 	g := workload.New(genCfg)
 	var q *stream.Query
 	if cfg.QueryFn != nil {

@@ -104,18 +104,81 @@ func OpenStore(dir string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataset: opening corpus store %s: %w", dir, err)
 	}
+	m, err := ParseManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", dir, err)
+	}
+	return &Store{Dir: dir, Manifest: *m}, nil
+}
+
+// ParseManifest parses and validates a manifest document. Arbitrary
+// bytes never panic; every rejection names the offending field.
+func ParseManifest(data []byte) (*Manifest, error) {
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("dataset: %s has a malformed manifest: %w", dir, err)
+		var typeErr *json.UnmarshalTypeError
+		if errors.As(err, &typeErr) && typeErr.Field != "" {
+			return nil, fmt.Errorf("malformed manifest field %s: %w", typeErr.Field, err)
+		}
+		return nil, fmt.Errorf("malformed manifest: %w", err)
 	}
-	if m.Magic != ManifestMagic {
-		return nil, fmt.Errorf("dataset: %s is not a costream corpus store (magic %q, want %q)", dir, m.Magic, ManifestMagic)
-	}
-	if m.Version != ManifestVersion {
-		return nil, fmt.Errorf("dataset: %s uses manifest version %d (this build reads version %d)", dir, m.Version, ManifestVersion)
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
 	sort.Slice(m.Shards, func(i, j int) bool { return m.Shards[i].Index < m.Shards[j].Index })
-	return &Store{Dir: dir, Manifest: m}, nil
+	return &m, nil
+}
+
+// Validate checks the manifest's structural invariants; errors name the
+// offending field.
+func (m *Manifest) Validate() error {
+	if m.Magic != ManifestMagic {
+		return fmt.Errorf("manifest field magic: %q is not a costream corpus store (want %q)", m.Magic, ManifestMagic)
+	}
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("manifest field version: %d not readable by this build (want %d)", m.Version, ManifestVersion)
+	}
+	if m.N < 0 {
+		return fmt.Errorf("manifest field n: negative trace count %d", m.N)
+	}
+	if m.ShardSize < 0 {
+		return fmt.Errorf("manifest field shard_size: negative %d", m.ShardSize)
+	}
+	seenIdx := make(map[int]bool, len(m.Shards))
+	seenName := make(map[string]bool, len(m.Shards))
+	for i, sh := range m.Shards {
+		field := func(f string) string { return fmt.Sprintf("manifest field shards[%d].%s", i, f) }
+		if sh.Name == "" {
+			return fmt.Errorf("%s: empty shard file name", field("name"))
+		}
+		// Shard names are joined onto the store directory: reject path
+		// separators and traversal so a hostile manifest cannot read or
+		// overwrite files outside the store.
+		if sh.Name != filepath.Base(sh.Name) || sh.Name == ".." || sh.Name == "." {
+			return fmt.Errorf("%s: %q must be a bare file name", field("name"), sh.Name)
+		}
+		if seenName[sh.Name] {
+			return fmt.Errorf("%s: duplicate shard file %q", field("name"), sh.Name)
+		}
+		seenName[sh.Name] = true
+		if sh.Index < 0 {
+			return fmt.Errorf("%s: negative shard index %d", field("index"), sh.Index)
+		}
+		if seenIdx[sh.Index] {
+			return fmt.Errorf("%s: duplicate shard index %d", field("index"), sh.Index)
+		}
+		seenIdx[sh.Index] = true
+		if sh.Start < 0 {
+			return fmt.Errorf("%s: negative start %d", field("start"), sh.Start)
+		}
+		if sh.Count < 0 {
+			return fmt.Errorf("%s: negative count %d", field("count"), sh.Count)
+		}
+		if sh.Start > m.N || sh.Start+sh.Count > m.N {
+			return fmt.Errorf("%s: traces [%d, %d) exceed the corpus size %d", field("start"), sh.Start, sh.Start+sh.Count, m.N)
+		}
+	}
+	return nil
 }
 
 // IsStore reports whether path is a sharded corpus directory (it exists,
@@ -366,17 +429,21 @@ func StreamBuild(cfg BuildConfig, sc StreamConfig) (*Store, error) {
 						sc.Dir, sh.Name, sh.Start, sh.Count, prev.Manifest.ShardSize)
 				}
 			}
-			// Keep only shards whose files still exist and whose trace
-			// count matches what their index requires under the (possibly
-			// grown) corpus; anything else — i.e. a previously-final
-			// partial shard that appending made interior — is rebuilt.
+			// Keep only shards whose files still exist, whose trace count
+			// matches what their index requires under the (possibly grown)
+			// corpus, and whose bytes actually decode to that count —
+			// anything else (a previously-final partial shard that
+			// appending made interior, or a shard torn by a crash or disk
+			// fault mid-write) is logged and rebuilt instead of poisoning
+			// later reads.
 			for _, sh := range prev.Manifest.Shards {
 				start := sh.Index * man.ShardSize
 				want := min(start+man.ShardSize, man.N) - start
 				if sh.Index >= man.NumShards() || sh.Count != want || sh.Start != start {
 					continue
 				}
-				if _, err := os.Stat(filepath.Join(sc.Dir, sh.Name)); err != nil {
+				if err := verifyShard(sc.Dir, sh); err != nil {
+					logf("shard %s failed verification (%v); rebuilding it", sh.Name, err)
 					continue
 				}
 				man.Shards = append(man.Shards, sh)
@@ -490,6 +557,40 @@ func StreamBuild(cfg BuildConfig, sc StreamConfig) (*Store, error) {
 		return nil, firstErr
 	}
 	return st, nil
+}
+
+// verifyShard checks that a shard's on-disk bytes are a complete gzip
+// stream holding exactly the manifest's trace count. Lines decode as
+// raw JSON values (no Trace unmarshal), so verification costs little
+// more than a gunzip; it catches truncation (a build killed mid-write,
+// a torn rename) and byte corruption, both of which gzip's framing and
+// CRC surface as decode errors.
+func verifyShard(dir string, sh ShardMeta) error {
+	f, err := os.Open(filepath.Join(dir, sh.Name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(bufio.NewReader(f))
+	if err != nil {
+		return fmt.Errorf("not gzip data: %w", err)
+	}
+	defer zr.Close()
+	dec := json.NewDecoder(zr)
+	n := 0
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("trace %d does not decode: %w", n, err)
+		}
+		n++
+	}
+	if n != sh.Count {
+		return fmt.Errorf("holds %d traces, manifest says %d", n, sh.Count)
+	}
+	return nil
 }
 
 // writeShard persists one shard as gzip JSONL (one trace per line),

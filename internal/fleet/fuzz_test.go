@@ -1,0 +1,56 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse drives the scenario parser with arbitrary bytes: it must
+// never panic, and every rejection must carry a non-empty error message.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(validScenarioJSON))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"fleet": {"templates": [{"name": "x"}], "zones": [{"name": "z", "hosts": 1}]}, "workload": {"queries": 1}}`))
+	f.Add([]byte(`{"seed": -1, "events": [{"at_s": 1e308, "type": "host-crash", "count": 9999999}]}`))
+	f.Add([]byte(`[1, 2, 3]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Parse(data)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("rejection with empty error message")
+			}
+			return
+		}
+		// Accepted documents must be internally consistent enough to
+		// re-validate: Parse already ran Validate, so a second pass on
+		// the same value must agree.
+		if verr := sc.Validate(); verr != nil {
+			t.Fatalf("accepted scenario fails re-validation: %v", verr)
+		}
+	})
+}
+
+// TestParseRejectsBinaryGarbage spot-checks a handful of hostile inputs
+// outside the fuzz corpus.
+func TestParseRejectsBinaryGarbage(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{},
+		[]byte("\x1f\x8b\x08\x00"), // gzip magic
+		[]byte(strings.Repeat("[", 10000)),
+		[]byte(`{"name": "` + strings.Repeat("\\u0000", 100) + `"}`),
+		[]byte(`{"fleet": 12}`),
+		[]byte(`{"events": [{"type": ["not", "a", "string"]}]}`),
+	}
+	for i, in := range inputs {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("input %d (%d bytes) unexpectedly accepted", i, len(in))
+		}
+	}
+	if !utf8.ValidString(validScenarioJSON) {
+		t.Fatal("fixture is not valid UTF-8")
+	}
+}

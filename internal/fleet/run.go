@@ -1,0 +1,554 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"costream/internal/placement"
+	"costream/internal/scenario"
+	"costream/internal/sim"
+	"costream/internal/stream"
+)
+
+// RunOptions tunes a scenario run without touching the scenario's
+// deterministic surface.
+type RunOptions struct {
+	// Predictor scores placements during search and drift checks. Nil
+	// selects a simulator oracle (placement.SimOracle) over the run's
+	// sim config with a prediction-private noise seed, so observed costs
+	// genuinely drift from predictions as the fleet degrades.
+	Predictor placement.Predictor
+	// SimConfig overrides the observation simulator config. Nil selects
+	// a short fleet window (30 s + 5 s warm-up) — scenario runs simulate
+	// every deployment after every event, so the corpus default would be
+	// needlessly slow. Its Seed field is ignored: observation seeds are
+	// derived per (event, query) from the scenario seed.
+	SimConfig *sim.Config
+	// Workers bounds the scoring workers per search (0 = GOMAXPROCS).
+	// The report is identical for any value.
+	Workers int
+	// Logf receives progress lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Report is the JSON run report: the event timeline with per-query
+// q-error trajectories and recovery actions, aggregate totals, and the
+// assertion outcomes. It contains no wall-clock data, so a fixed
+// scenario yields a byte-identical marshaled report.
+type Report struct {
+	Scenario  string  `json:"scenario"`
+	Seed      int64   `json:"seed"`
+	Hosts     int     `json:"hosts"`
+	Zones     int     `json:"zones"`
+	Queries   int     `json:"queries"`
+	Strategy  string  `json:"strategy"`
+	Objective string  `json:"objective"`
+	QErrorMax float64 `json:"qerror_threshold"`
+
+	Timeline   []TimelineEntry   `json:"timeline"`
+	Totals     Totals            `json:"totals"`
+	Assertions []AssertionResult `json:"assertions"`
+	Pass       bool              `json:"pass"`
+}
+
+// TimelineEntry is the fleet and deployment state after one script step:
+// the synthetic "deploy" step at the clock origin, one entry per script
+// event, and the closing "end" observation.
+type TimelineEntry struct {
+	AtS   float64 `json:"at_s"`
+	Event string  `json:"event"`
+	Zone  string  `json:"zone,omitempty"`
+	// Affected lists the host IDs the event touched (crashed, recovered,
+	// degraded).
+	Affected []string `json:"affected_hosts,omitempty"`
+	// Factor echoes the event's degradation/spike factor when set.
+	Factor     float64 `json:"factor,omitempty"`
+	AliveHosts int     `json:"alive_hosts"`
+	// LoadFactor is the cumulative source-rate multiplier in force.
+	LoadFactor float64       `json:"load_factor"`
+	Queries    []QueryStatus `json:"queries"`
+}
+
+// QueryStatus is one deployment's state after the recovery pass of one
+// timeline step.
+type QueryStatus struct {
+	ID string `json:"id"`
+	// Hosts is the placement as host IDs, operator by operator; empty
+	// when the query is undeployed.
+	Hosts []string `json:"hosts,omitempty"`
+	// QErrThroughput/QErrProcLatency are the observed-vs-predicted
+	// q-errors measured this step (0 when no observation ran, e.g. a
+	// dead placement).
+	QErrThroughput  float64 `json:"qerr_throughput,omitempty"`
+	QErrProcLatency float64 `json:"qerr_proc_latency,omitempty"`
+	// PredLatencyMS is the processing latency predicted when the current
+	// placement was activated; ObsLatencyMS the latency observed this
+	// step.
+	PredLatencyMS float64 `json:"pred_latency_ms,omitempty"`
+	ObsLatencyMS  float64 `json:"obs_latency_ms,omitempty"`
+	// Violation classifies why the recovery loop engaged: "dead-host",
+	// "qerror-drift", "observed-failure" or "undeployed".
+	Violation string `json:"violation,omitempty"`
+	// Action is what the loop did: "migrated", "replaced",
+	// "redeployed", "undeployed" or "suppressed: <reason>".
+	Action string `json:"action,omitempty"`
+}
+
+// Totals aggregates the run.
+type Totals struct {
+	Events int `json:"events"`
+	// Violations counts query-step states where the recovery loop
+	// engaged (drift, observed failure, or a dead placement).
+	Violations int `json:"violations"`
+	// Migrations counts hysteresis-approved drift migrations.
+	Migrations int `json:"migrations"`
+	// Replacements counts forced re-placements off dead hosts
+	// (including successful redeployments of undeployed queries).
+	Replacements int `json:"replacements"`
+	// Suppressed counts migrations hysteresis rejected.
+	Suppressed int `json:"suppressed"`
+}
+
+// AssertionResult is one evaluated end-state assertion.
+type AssertionResult struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
+// deployment is one query's live state.
+type deployment struct {
+	id    string
+	query *stream.Query
+	// placement is in stable fleet host indices; nil when undeployed.
+	placement []int
+	predicted placement.PredCosts
+	lastMoveS float64
+	deployed  bool
+}
+
+// resolved is the recovery spec with defaults applied.
+type resolved struct {
+	threshold float64
+	hyst      placement.Hysteresis
+	budget    placement.Budget
+	strat     placement.Strategy
+	obj       placement.Objective
+}
+
+func (sc *Scenario) resolveRecovery() (resolved, error) {
+	r := sc.Recovery
+	out := resolved{
+		threshold: r.QErrorThreshold,
+		hyst:      placement.Hysteresis{MinImprovement: r.MinImprovement, CooldownS: r.CooldownS},
+	}
+	if out.threshold == 0 {
+		out.threshold = defaultQErrorThreshold
+	}
+	if r.MinImprovement == 0 {
+		out.hyst.MinImprovement = defaultMinImprovement
+	}
+	budget := r.Budget
+	if budget == 0 {
+		budget = defaultSearchBudget
+	}
+	out.budget = placement.Budget{MaxCandidates: budget}
+	name := r.Strategy
+	if name == "" {
+		name = "local-search"
+	}
+	strat, err := placement.ParseStrategy(name)
+	if err != nil {
+		return resolved{}, err
+	}
+	out.strat = strat
+	obj, err := placement.ParseObjective(r.Objective)
+	if err != nil {
+		return resolved{}, err
+	}
+	out.obj = obj
+	return out, nil
+}
+
+// deriveSeed spreads the scenario seed over (stage, index) pairs; stage
+// 0 is the deploy step, stage k+1 the k-th event, so every search and
+// observation draws from its own deterministic stream.
+func deriveSeed(base int64, stage, i int) int64 {
+	return base*1_000_003 + int64(stage)*8191 + int64(i) + 1
+}
+
+// scaledQuery returns q with every source's event rate multiplied by
+// factor (a deep clone; q is never mutated).
+func scaledQuery(q *stream.Query, factor float64) *stream.Query {
+	if factor == 1 {
+		return q
+	}
+	c := q.Clone()
+	for _, op := range c.Ops {
+		if op.Type == stream.OpSource {
+			op.EventRate *= factor
+		}
+	}
+	return c
+}
+
+func round4(x float64) float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return -1
+	}
+	return math.Round(x*1e4) / 1e4
+}
+
+// Run executes the scenario: build the fleet, deploy the workload, walk
+// the event script with the self-healing recovery loop, evaluate the
+// assertions. The returned report is deterministic for a fixed scenario
+// (any Workers value); ctx cancels long searches mid-run.
+func Run(ctx context.Context, sc *Scenario, opts RunOptions) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rec, err := sc.resolveRecovery()
+	if err != nil {
+		return nil, err
+	}
+	simCfg := sim.Config{DurationS: 30, WarmupS: 5, StepS: 0.05, NoiseStd: 0.05}
+	if opts.SimConfig != nil {
+		simCfg = *opts.SimConfig
+	}
+	pred := opts.Predictor
+	if pred == nil {
+		oracleCfg := simCfg
+		// The oracle predicts with its own fixed noise stream; observations
+		// draw per-event seeds, so predictions do not see observation noise.
+		oracleCfg.Seed = deriveSeed(sc.Seed, 0, 0) ^ 0x5DEECE66D
+		pred = &placement.SimOracle{Cfg: oracleCfg}
+	}
+
+	rng := rand.New(rand.NewSource(sc.Seed))
+	fl, err := buildFleet(sc.Fleet, rng)
+	if err != nil {
+		return nil, err
+	}
+	wlSeed := sc.Workload.Seed
+	if wlSeed == 0 {
+		wlSeed = sc.Seed
+	}
+	recipe := sc.Workload.Recipe
+	if recipe == "" {
+		recipe = "training"
+	}
+	sampler, err := scenario.QuerySampler(recipe, wlSeed)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Scenario:  sc.Name,
+		Seed:      sc.Seed,
+		Hosts:     fl.NumHosts(),
+		Zones:     len(sc.Fleet.Zones),
+		Queries:   sc.Workload.Queries,
+		Strategy:  rec.strat.Name(),
+		Objective: rec.obj.String(),
+		QErrorMax: rec.threshold,
+	}
+	logf("fleet: %d hosts in %d zones, %d queries (recipe %s)", fl.NumHosts(), rep.Zones, rep.Queries, recipe)
+
+	searchOpts := func(stage, i int) placement.SearchOptions {
+		return placement.SearchOptions{Workers: opts.Workers, Seed: deriveSeed(sc.Seed, stage, i)}
+	}
+	loadFactor := 1.0
+	deadAfterRecovery := []string(nil)
+
+	// Deploy: every query searched fresh on the full healthy fleet.
+	deps := make([]*deployment, sc.Workload.Queries)
+	v := fl.view()
+	deploy := TimelineEntry{AtS: 0, Event: "deploy", AliveHosts: fl.aliveCount(), LoadFactor: 1}
+	for i := range deps {
+		d := &deployment{id: fmt.Sprintf("q%02d", i), query: sampler(i)}
+		res, err := placement.SearchCtx(ctx, pred, d.query, v.cluster, rec.strat, rec.obj, rec.budget, searchOpts(0, i))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: deploying %s: %w", d.id, err)
+		}
+		d.placement = v.mapToFleet(res.Placement)
+		d.predicted = res.Costs
+		d.deployed = true
+		deps[i] = d
+		deploy.Queries = append(deploy.Queries, QueryStatus{
+			ID:            d.id,
+			Hosts:         fl.hostIDs(d.placement),
+			PredLatencyMS: round4(res.Costs.ProcLatencyMS),
+			Action:        "deployed",
+		})
+	}
+	rep.Timeline = append(rep.Timeline, deploy)
+
+	// heal runs the self-healing pass over every deployment at clock
+	// nowS; stage seeds searches and observations.
+	heal := func(nowS float64, stage int, entry *TimelineEntry) error {
+		v := fl.view()
+		fleetEmpty := len(v.cluster.Hosts) == 0
+		for i, d := range deps {
+			st := QueryStatus{ID: d.id}
+			effQ := scaledQuery(d.query, loadFactor)
+			obsCfg := simCfg
+			obsCfg.Seed = deriveSeed(sc.Seed^0x51ED2701, stage, i)
+
+			forced := false
+			var incumbent sim.Placement
+			if !d.deployed {
+				st.Violation = "undeployed"
+				forced = true
+			} else if vp, alive := v.mapToView(d.placement); !alive {
+				st.Violation = "dead-host"
+				forced = true
+			} else {
+				obs, err := sim.Run(effQ, v.cluster, vp, obsCfg)
+				if err != nil {
+					return fmt.Errorf("fleet: observing %s: %w", d.id, err)
+				}
+				qT, qL := placement.RecordQErrors(d.predicted, obs)
+				st.QErrThroughput = round4(qT)
+				st.QErrProcLatency = round4(qL)
+				st.PredLatencyMS = round4(d.predicted.ProcLatencyMS)
+				st.ObsLatencyMS = round4(obs.ProcLatencyMS)
+				switch {
+				case !obs.Success:
+					st.Violation = "observed-failure"
+				case qT > rec.threshold || qL > rec.threshold:
+					st.Violation = "qerror-drift"
+				}
+				incumbent = vp
+			}
+			if st.Violation == "" {
+				st.Hosts = fl.hostIDs(d.placement)
+				entry.Queries = append(entry.Queries, st)
+				continue
+			}
+			rep.Totals.Violations++
+
+			if fleetEmpty {
+				d.deployed = false
+				d.placement = nil
+				st.Action = "undeployed"
+				st.Hosts = nil
+				entry.Queries = append(entry.Queries, st)
+				continue
+			}
+			strat := placement.Strategy(placement.WarmStart{Incumbent: incumbent, Inner: rec.strat})
+			res, err := placement.SearchCtx(ctx, pred, effQ, v.cluster, strat, rec.obj, rec.budget, searchOpts(stage, i))
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				// No valid placement on the surviving fleet: undeploy.
+				d.deployed = false
+				d.placement = nil
+				st.Action = "undeployed"
+				entry.Queries = append(entry.Queries, st)
+				continue
+			}
+			challenger := v.mapToFleet(res.Placement)
+			if forced {
+				d.placement = challenger
+				d.predicted = res.Costs
+				d.lastMoveS = nowS
+				rep.Totals.Replacements++
+				if d.deployed {
+					st.Action = "replaced"
+				} else {
+					st.Action = "redeployed"
+					d.deployed = true
+				}
+			} else {
+				incCosts, incErr := pred.PredictPlacement(effQ, v.cluster, incumbent)
+				sameHosts := equalInts(challenger, d.placement)
+				switch {
+				case sameHosts:
+					rep.Totals.Suppressed++
+					st.Action = "suppressed: search kept the incumbent"
+					if incErr == nil {
+						d.predicted = incCosts
+					}
+				case incErr != nil:
+					// The incumbent no longer even scores: take the challenger.
+					d.placement = challenger
+					d.predicted = res.Costs
+					d.lastMoveS = nowS
+					rep.Totals.Migrations++
+					st.Action = "migrated"
+				default:
+					ok, reason := rec.hyst.ShouldMigrate(rec.obj.Score(incCosts), rec.obj.Score(res.Costs), nowS, d.lastMoveS)
+					if ok {
+						d.placement = challenger
+						d.predicted = res.Costs
+						d.lastMoveS = nowS
+						rep.Totals.Migrations++
+						st.Action = "migrated"
+					} else {
+						rep.Totals.Suppressed++
+						st.Action = "suppressed: " + reason
+						// Re-base the prediction on current conditions so a
+						// tolerated drift does not re-fire forever.
+						d.predicted = incCosts
+					}
+				}
+			}
+			if d.deployed {
+				st.Hosts = fl.hostIDs(d.placement)
+			}
+			entry.Queries = append(entry.Queries, st)
+		}
+		// The no-dead-placements invariant: after a recovery pass no
+		// deployment may still reference a dead host.
+		for _, d := range deps {
+			if d.deployed {
+				deadAfterRecovery = mergeIDs(deadAfterRecovery, fl.deadHosts(d.placement))
+			}
+		}
+		return nil
+	}
+
+	events := sc.sortedEvents()
+	now := 0.0
+	for k, ev := range events {
+		if ev.AtS > now {
+			now = ev.AtS
+		}
+		affected, err := fl.apply(ev, rng)
+		if err != nil {
+			return nil, err
+		}
+		if ev.Type == EventLoadSpike {
+			loadFactor *= ev.Factor
+		}
+		entry := TimelineEntry{
+			AtS:        now,
+			Event:      string(ev.Type),
+			Zone:       ev.Zone,
+			Affected:   affected,
+			Factor:     ev.Factor,
+			AliveHosts: fl.aliveCount(),
+			LoadFactor: round4(loadFactor),
+		}
+		logf("t=%.0fs %s: %d hosts affected, %d alive", now, ev.Type, len(affected), entry.AliveHosts)
+		if err := heal(now, k+1, &entry); err != nil {
+			return nil, err
+		}
+		rep.Timeline = append(rep.Timeline, entry)
+		rep.Totals.Events++
+	}
+
+	// Closing observation: one settle pass with recovery disabled, so the
+	// end-state assertions see the final placements' q-errors.
+	end := TimelineEntry{AtS: now, Event: "end", AliveHosts: fl.aliveCount(), LoadFactor: round4(loadFactor)}
+	v = fl.view()
+	maxQ := 0.0
+	for i, d := range deps {
+		st := QueryStatus{ID: d.id}
+		if d.deployed {
+			st.Hosts = fl.hostIDs(d.placement)
+			vp, alive := v.mapToView(d.placement)
+			if alive {
+				obsCfg := simCfg
+				obsCfg.Seed = deriveSeed(sc.Seed^0x51ED2701, len(events)+1, i)
+				obs, err := sim.Run(scaledQuery(d.query, loadFactor), v.cluster, vp, obsCfg)
+				if err != nil {
+					return nil, fmt.Errorf("fleet: final observation of %s: %w", d.id, err)
+				}
+				qT, qL := placement.RecordQErrors(d.predicted, obs)
+				st.QErrThroughput = round4(qT)
+				st.QErrProcLatency = round4(qL)
+				st.PredLatencyMS = round4(d.predicted.ProcLatencyMS)
+				st.ObsLatencyMS = round4(obs.ProcLatencyMS)
+				maxQ = math.Max(maxQ, math.Max(st.QErrThroughput, st.QErrProcLatency))
+			} else {
+				st.Violation = "dead-host"
+				deadAfterRecovery = mergeIDs(deadAfterRecovery, fl.deadHosts(d.placement))
+			}
+		} else {
+			st.Violation = "undeployed"
+		}
+		end.Queries = append(end.Queries, st)
+	}
+	rep.Timeline = append(rep.Timeline, end)
+
+	rep.Assertions = evaluateAssertions(sc.Assertions, rep, deps, deadAfterRecovery, maxQ)
+	rep.Pass = true
+	for _, a := range rep.Assertions {
+		if !a.Pass {
+			rep.Pass = false
+		}
+	}
+	logf("done: %d events, %d violations, %d migrations, %d replacements, %d suppressed, pass=%v",
+		rep.Totals.Events, rep.Totals.Violations, rep.Totals.Migrations, rep.Totals.Replacements, rep.Totals.Suppressed, rep.Pass)
+	return rep, nil
+}
+
+// evaluateAssertions grades the end state; no-dead-placements defaults
+// to on.
+func evaluateAssertions(a Assertions, rep *Report, deps []*deployment, deadAfterRecovery []string, maxQ float64) []AssertionResult {
+	var out []AssertionResult
+	add := func(name string, pass bool, detail string) {
+		out = append(out, AssertionResult{Name: name, Pass: pass, Detail: detail})
+	}
+	if a.NoDeadPlacements == nil || *a.NoDeadPlacements {
+		if len(deadAfterRecovery) == 0 {
+			add("no-dead-placements", true, "no placement referenced a dead host after any recovery pass")
+		} else {
+			add("no-dead-placements", false, fmt.Sprintf("placements referenced dead hosts after recovery: %v", deadAfterRecovery))
+		}
+	}
+	moves := rep.Totals.Migrations + rep.Totals.Replacements
+	if a.MaxMigrations != nil {
+		add("max-migrations", moves <= *a.MaxMigrations,
+			fmt.Sprintf("%d placement changes (migrations %d + replacements %d), limit %d",
+				moves, rep.Totals.Migrations, rep.Totals.Replacements, *a.MaxMigrations))
+	}
+	if a.MinMigrations != nil {
+		add("min-migrations", moves >= *a.MinMigrations,
+			fmt.Sprintf("%d placement changes, minimum %d", moves, *a.MinMigrations))
+	}
+	if a.MaxQError > 0 {
+		add("max-qerror", maxQ <= a.MaxQError,
+			fmt.Sprintf("worst end-state q-error %.4f, limit %v", maxQ, a.MaxQError))
+	}
+	if a.RequireAllDeployed {
+		undeployed := 0
+		for _, d := range deps {
+			if !d.deployed {
+				undeployed++
+			}
+		}
+		add("require-all-deployed", undeployed == 0, fmt.Sprintf("%d of %d queries undeployed", undeployed, len(deps)))
+	}
+	return out
+}
+
+// mergeIDs appends the IDs of b not already in a, keeping order.
+func mergeIDs(a, b []string) []string {
+	for _, id := range b {
+		if !contains(a, id) {
+			a = append(a, id)
+		}
+	}
+	return a
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

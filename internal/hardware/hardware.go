@@ -193,6 +193,34 @@ type Grid struct {
 	LatencyMS []float64
 }
 
+// Validate reports an error naming the first unusable grid dimension: a
+// dimension with no values, or a value a Host would reject (non-positive
+// cpu/ram/bandwidth, negative latency). Scenario files that spell out
+// custom host-template grids are checked with this before any sampling.
+func (g Grid) Validate() error {
+	dims := []struct {
+		name      string
+		vals      []float64
+		allowZero bool
+	}{
+		{"cpu", g.CPU, false},
+		{"ram_mb", g.RAMMB, false},
+		{"bandwidth_mbps", g.Bandwidth, false},
+		{"latency_ms", g.LatencyMS, true},
+	}
+	for _, d := range dims {
+		if len(d.vals) == 0 {
+			return fmt.Errorf("hardware: grid dimension %s is empty", d.name)
+		}
+		for _, v := range d.vals {
+			if v < 0 || (v == 0 && !d.allowZero) {
+				return fmt.Errorf("hardware: grid dimension %s holds invalid value %v", d.name, v)
+			}
+		}
+	}
+	return nil
+}
+
 // TrainingGrid returns the training data ranges of Table II.
 func TrainingGrid() Grid {
 	return Grid{

@@ -6,6 +6,7 @@ import (
 
 	"costream/internal/hardware"
 	"costream/internal/obs"
+	"costream/internal/qerror"
 	"costream/internal/sim"
 	"costream/internal/stream"
 )
@@ -120,6 +121,20 @@ func predictStep(q *stream.Query, c *hardware.Cluster, p sim.Placement, m *sim.M
 	recordQError(met.qerrLatency, costs.ProcLatencyMS, m.ProcLatencyMS)
 	recordQError(met.qerrThroughput, costs.ThroughputTPS, m.ThroughputTPS)
 	return &costs
+}
+
+// RecordQErrors compares a live placement's observed runtime statistics
+// against the costs predicted when it was activated — the same q-error
+// machinery OnlineMonitoring feeds — records both divergences into the
+// costream_monitor_qerror families of the default registry, and returns
+// the throughput and processing-latency q-errors (each >= 1). The fleet
+// simulator's drift detector is built on this.
+func RecordQErrors(pred PredCosts, observed *sim.Metrics) (qThroughput, qProcLatency float64) {
+	met := monitorMet()
+	recordQError(met.qerrLatency, pred.ProcLatencyMS, observed.ProcLatencyMS)
+	recordQError(met.qerrThroughput, pred.ThroughputTPS, observed.ThroughputTPS)
+	return qerror.Q(observed.ThroughputTPS, pred.ThroughputTPS),
+		qerror.Q(observed.ProcLatencyMS, pred.ProcLatencyMS)
 }
 
 // recordQError records max(pred/obs, obs/pred) in milli-units (the

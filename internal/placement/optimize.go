@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -82,6 +83,25 @@ func (o Objective) String() string {
 	}
 }
 
+// Score maps predicted costs onto the objective's scalar score; lower is
+// better for every objective (MaxThroughput negates the throughput).
+func (o Objective) Score(costs PredCosts) float64 { return objectiveScore(o, costs) }
+
+// ParseObjective resolves an objective name (as used by the CLI
+// -objective flags and the serve API "objective" field). The empty
+// string selects MinProcLatency.
+func ParseObjective(name string) (Objective, error) {
+	switch name {
+	case "", "min-processing-latency", "proc-latency", "latency":
+		return MinProcLatency, nil
+	case "min-e2e-latency", "e2e-latency", "e2e":
+		return MinE2ELatency, nil
+	case "max-throughput", "throughput":
+		return MaxThroughput, nil
+	}
+	return 0, fmt.Errorf("placement: unknown objective %q (want min-processing-latency, min-e2e-latency or max-throughput)", name)
+}
+
 // Result is the outcome of an Optimize call.
 type Result struct {
 	Placement sim.Placement
@@ -139,15 +159,29 @@ func Optimize(pred Predictor, q *stream.Query, c *hardware.Cluster, candidates [
 // it can featurize the shared query/cluster state once per chunk. Results
 // are merged into slices indexed by candidate, so the output is identical
 // for every worker count. A failing PredictBatch chunk falls back to
-// per-candidate scoring to isolate the failing candidates.
-func scoreCandidates(pred Predictor, q *stream.Query, c *hardware.Cluster, candidates []sim.Placement, opts Options) ([]PredCosts, []error) {
+// per-candidate scoring to isolate the failing candidates. A cancelled
+// ctx (nil means background) stops each worker at its next candidate
+// boundary; unscored candidates carry ctx.Err().
+func scoreCandidates(ctx context.Context, pred Predictor, q *stream.Query, c *hardware.Cluster, candidates []sim.Placement, opts Options) ([]PredCosts, []error) {
 	n := len(candidates)
 	costs := make([]PredCosts, n)
 	errs := make([]error, n)
 	if n == 0 {
 		return costs, errs
 	}
+	cancelled := func() error {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
 	scoreChunk := func(lo, hi int) {
+		if err := cancelled(); err != nil {
+			for i := lo; i < hi; i++ {
+				errs[i] = err
+			}
+			return
+		}
 		if bp, ok := pred.(BatchPredictor); ok {
 			out, err := bp.PredictBatch(q, c, candidates[lo:hi])
 			if err == nil && len(out) == hi-lo {
@@ -158,6 +192,10 @@ func scoreCandidates(pred Predictor, q *stream.Query, c *hardware.Cluster, candi
 			// per-candidate scoring to isolate the failing candidates.
 		}
 		for i := lo; i < hi; i++ {
+			if err := cancelled(); err != nil {
+				errs[i] = err
+				continue
+			}
 			costs[i], errs[i] = pred.PredictPlacement(q, c, candidates[i])
 		}
 	}
@@ -202,7 +240,7 @@ func OptimizeOpts(pred Predictor, q *stream.Query, c *hardware.Cluster, candidat
 	if n == 0 {
 		return nil, fmt.Errorf("placement: no candidates to optimize over")
 	}
-	costs, errs := scoreCandidates(pred, q, c, candidates, opts)
+	costs, errs := scoreCandidates(context.Background(), pred, q, c, candidates, opts)
 
 	score := func(costs PredCosts) float64 { return objectiveScore(obj, costs) }
 	filtered, errored := 0, 0

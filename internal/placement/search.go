@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -73,6 +74,10 @@ type SearchResult struct {
 	// Complete reports that the strategy provably covered the entire
 	// valid-placement space within the budget (only Exhaustive sets it).
 	Complete bool
+	// Cancelled reports that the search context was cancelled before the
+	// budget ran out; the result is the best candidate scored so far (the
+	// partial incumbent).
+	Cancelled bool
 	// Telemetry holds per-round stats when SearchOptions.Telemetry was
 	// set; nil otherwise.
 	Telemetry []RoundStats
@@ -140,6 +145,7 @@ type Strategy interface {
 // paper's sanity filter and deterministic lowest-index tie-breaks), and
 // enforces the candidate/round budget.
 type Core struct {
+	ctx    context.Context
 	pred   Predictor
 	q      *stream.Query
 	c      *hardware.Cluster
@@ -166,13 +172,14 @@ type Core struct {
 	complete    bool
 }
 
-func newCore(pred Predictor, q *stream.Query, c *hardware.Cluster, obj Objective, budget Budget, opts SearchOptions) (*Core, error) {
+func newCore(ctx context.Context, pred Predictor, q *stream.Query, c *hardware.Cluster, obj Objective, budget Budget, opts SearchOptions) (*Core, error) {
 	gen, err := newGenerator(q, c)
 	if err != nil {
 		return nil, err
 	}
 	budget = budget.withDefaults()
 	return &Core{
+		ctx:           ctx,
 		pred:          pred,
 		q:             q,
 		c:             c,
@@ -210,12 +217,23 @@ func (co *Core) Examined() int { return len(co.records) }
 // Rounds returns the number of scoring rounds executed so far.
 func (co *Core) Rounds() int { return co.rounds }
 
-// Exhausted reports whether the budget admits no further scoring.
+// Exhausted reports whether the budget admits no further scoring. A
+// cancelled search context counts as exhaustion, so every strategy's
+// round loop stops at its next budget check without any strategy-side
+// context plumbing.
 func (co *Core) Exhausted() bool {
+	if co.Cancelled() {
+		return true
+	}
 	if co.Remaining() <= 0 {
 		return true
 	}
 	return co.budget.MaxRounds > 0 && co.rounds >= co.budget.MaxRounds
+}
+
+// Cancelled reports whether the search context was cancelled.
+func (co *Core) Cancelled() bool {
+	return co.ctx != nil && co.ctx.Err() != nil
 }
 
 // Seen reports whether p was already streamed into a scoring round.
@@ -259,7 +277,7 @@ func (co *Core) MarkComplete() { co.complete = true }
 // back with Skipped set. The returned slice is aligned with cands.
 func (co *Core) ScoreRound(cands []sim.Placement) []Scored {
 	out := make([]Scored, len(cands))
-	roundOpen := co.budget.MaxRounds <= 0 || co.rounds < co.budget.MaxRounds
+	roundOpen := (co.budget.MaxRounds <= 0 || co.rounds < co.budget.MaxRounds) && !co.Cancelled()
 	base := len(co.records)
 	nDups, nSkipped := 0, 0
 	filteredBefore, erroredBefore := co.filtered, co.errored
@@ -295,7 +313,7 @@ func (co *Core) ScoreRound(cands []sim.Placement) []Scored {
 	}
 	if len(fresh) > 0 {
 		roundStart := time.Now()
-		costs, errs := scoreCandidates(co.pred, co.q, co.c, fresh, co.opts)
+		costs, errs := scoreCandidates(co.ctx, co.pred, co.q, co.c, fresh, co.opts)
 		co.rounds++
 		for j, p := range fresh {
 			rec := Scored{Placement: p}
@@ -379,6 +397,9 @@ func (co *Core) result(strategy string) (*SearchResult, error) {
 	}
 	if idx < 0 {
 		err := co.firstErr
+		if err == nil && co.Cancelled() {
+			err = co.ctx.Err()
+		}
 		if err == nil {
 			err = fmt.Errorf("placement: no valid placement candidates for %d operators on %d hosts",
 				co.q.NumOps(), co.c.NumHosts())
@@ -396,6 +417,7 @@ func (co *Core) result(strategy string) (*SearchResult, error) {
 		Filtered:  co.filtered,
 		Errored:   co.errored,
 		Complete:  co.complete,
+		Cancelled: co.Cancelled(),
 		Telemetry: co.telemetry,
 	}, nil
 }
@@ -406,10 +428,19 @@ func (co *Core) result(strategy string) (*SearchResult, error) {
 // the objective is returned. A nil strategy selects RandomSample. The
 // result is deterministic for a fixed seed and any Workers value.
 func Search(pred Predictor, q *stream.Query, c *hardware.Cluster, strat Strategy, obj Objective, budget Budget, opts SearchOptions) (*SearchResult, error) {
+	return SearchCtx(context.Background(), pred, q, c, strat, obj, budget, opts)
+}
+
+// SearchCtx is Search bounded by a context: cancellation stops the round
+// loop and the batched scorer at the next candidate boundary and returns
+// the best candidate scored so far (SearchResult.Cancelled is set). Only
+// a search cancelled before scoring any candidate fails, wrapping
+// ctx.Err().
+func SearchCtx(ctx context.Context, pred Predictor, q *stream.Query, c *hardware.Cluster, strat Strategy, obj Objective, budget Budget, opts SearchOptions) (*SearchResult, error) {
 	if strat == nil {
 		strat = RandomSample{}
 	}
-	co, err := newCore(pred, q, c, obj, budget, opts)
+	co, err := newCore(ctx, pred, q, c, obj, budget, opts)
 	if err != nil {
 		return nil, err
 	}

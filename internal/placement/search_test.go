@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -295,7 +296,7 @@ func TestSearchFallbackWhenAllInsane(t *testing.T) {
 func TestScoreRoundDedupAndCaching(t *testing.T) {
 	q := testQuery()
 	c := testCluster()
-	co, err := newCore(landscapePredictor{}, q, c, MinProcLatency, Budget{MaxCandidates: 32}, SearchOptions{Seed: 1})
+	co, err := newCore(context.Background(), landscapePredictor{}, q, c, MinProcLatency, Budget{MaxCandidates: 32}, SearchOptions{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +331,7 @@ func TestScoreRoundDedupAndCaching(t *testing.T) {
 func TestScoreRoundIntraRoundDuplicate(t *testing.T) {
 	q := testQuery()
 	c := testCluster()
-	co, err := newCore(landscapePredictor{}, q, c, MinProcLatency, Budget{MaxCandidates: 32}, SearchOptions{Seed: 1})
+	co, err := newCore(context.Background(), landscapePredictor{}, q, c, MinProcLatency, Budget{MaxCandidates: 32}, SearchOptions{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -221,6 +221,10 @@ type LocalSearch struct {
 	Patience int
 	// MaxNeighbors caps the scored neighborhood per round (default 64).
 	MaxNeighbors int
+	// Start, when valid, replaces the greedy completion as the first
+	// climb's starting placement — the warm-start hook used by WarmStart
+	// to climb from an incumbent instead of from scratch.
+	Start sim.Placement
 }
 
 // Name implements Strategy.
@@ -244,9 +248,13 @@ func (ls LocalSearch) Run(co *Core) error {
 		before := co.Examined()
 		var start sim.Placement
 		if r == 0 {
-			// The first climb starts from the deterministic greedy
-			// completion — a strong, budget-free seed.
-			start, _ = co.CompleteGreedy(blank, 0)
+			if len(ls.Start) > 0 && co.ValidPlacement(ls.Start) {
+				start = append(sim.Placement(nil), ls.Start...)
+			} else {
+				// The first climb starts from the deterministic greedy
+				// completion — a strong, budget-free seed.
+				start, _ = co.CompleteGreedy(blank, 0)
+			}
 		}
 		if start == nil {
 			p, ok := co.RandomPlacement()

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"costream/internal/hardware"
+	"costream/internal/placement"
+	"costream/internal/sim"
+	"costream/internal/stream"
+)
+
+// TestOversizedBodyReturns413 enforces the request body cap: a body
+// past Config.MaxRequestBytes is answered 413, not 400, and the error
+// names the limit.
+func TestOversizedBodyReturns413(t *testing.T) {
+	s := newTestServer(t, Config{MaxRequestBytes: 1 << 10})
+	big := bytes.NewReader(append([]byte(`{"query": "`), bytes.Repeat([]byte("x"), 4<<10)...))
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", big)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413; body %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "1024") {
+		t.Errorf("error does not name the limit: %s", w.Body)
+	}
+
+	// A request under the cap on the same server still works.
+	q, c := testQuery(t), testCluster()
+	if w := doJSON(t, s, http.MethodPost, "/v1/predict", PredictRequest{Query: q, Cluster: c, Placement: sim.Placement{0, 1, 2}}); w.Code != http.StatusOK {
+		t.Fatalf("in-bounds request after 413: status %d body %s", w.Code, w.Body)
+	}
+}
+
+// TestBodyCapAppliesToAllPostRoutes: every decoding route shares the cap.
+func TestBodyCapAppliesToAllPostRoutes(t *testing.T) {
+	s := newTestServer(t, Config{MaxRequestBytes: 512})
+	for _, path := range []string{"/v1/predict", "/v1/predict-batch", "/v1/optimize"} {
+		// A syntactically valid prefix so the decoder reads past the cap
+		// instead of erroring on byte two.
+		body := bytes.NewReader(append([]byte(`{"objective": "`), bytes.Repeat([]byte("x"), 2<<10)...))
+		req := httptest.NewRequest(http.MethodPost, path, body)
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: status %d, want 413", path, w.Code)
+		}
+	}
+}
+
+func TestDefaultBodyCap(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if s.maxBody != DefaultMaxRequestBytes {
+		t.Fatalf("default cap %d, want %d", s.maxBody, DefaultMaxRequestBytes)
+	}
+}
+
+// TestOptimizePreCancelledContext: a request whose context is already
+// cancelled does no predictor work and reports the cancellation.
+func TestOptimizePreCancelledContext(t *testing.T) {
+	pred := &fakePred{}
+	s := newTestServer(t, Config{Predictor: pred})
+	q, c := testQuery(t), testCluster()
+	data, err := json.Marshal(OptimizeRequest{Query: q, Cluster: c, Candidates: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/optimize", bytes.NewReader(data)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503; body %s", w.Code, w.Body)
+	}
+	if pred.batchCalls.Load() != 0 {
+		t.Errorf("pre-cancelled request still scored %d batches", pred.batchCalls.Load())
+	}
+}
+
+// cancellingPred cancels the request context from inside the first
+// batch call, simulating a client that disconnects mid-search.
+type cancellingPred struct {
+	fakePred
+	cancel context.CancelFunc
+}
+
+func (p *cancellingPred) PredictBatch(q *stream.Query, c *hardware.Cluster, ps []sim.Placement) ([]placement.PredCosts, error) {
+	out, err := p.fakePred.PredictBatch(q, c, ps)
+	p.cancel()
+	return out, err
+}
+
+// TestOptimizeCancelMidSearch: cancelling mid-search aborts remaining
+// scoring but still answers with the partial incumbent — the search
+// examined strictly fewer candidates than the budget.
+func TestOptimizeCancelMidSearch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pred := &cancellingPred{cancel: cancel}
+	s := newTestServer(t, Config{Predictor: pred, OptimizeWorkers: 1})
+	q, c := testQuery(t), testCluster()
+	const budget = 512
+	data, err := json.Marshal(OptimizeRequest{Query: q, Cluster: c, Candidates: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/optimize", bytes.NewReader(data)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 with partial incumbent; body %s", w.Code, w.Body)
+	}
+	var resp OptimizeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Examined == 0 || resp.Examined >= budget {
+		t.Errorf("examined %d candidates, want partial progress in (0, %d)", resp.Examined, budget)
+	}
+	if len(resp.Placement) != q.NumOps() {
+		t.Errorf("partial incumbent has %d ops, want %d", len(resp.Placement), q.NumOps())
+	}
+}

@@ -45,9 +45,10 @@ import (
 	"costream/internal/workload"
 )
 
-// maxRequestBytes bounds request bodies; query plans and clusters are
-// small, so anything larger is abuse or a mistake.
-const maxRequestBytes = 16 << 20
+// DefaultMaxRequestBytes bounds request bodies when Config leaves
+// MaxRequestBytes zero; query plans and clusters are small, so anything
+// larger is abuse or a mistake. Oversized bodies are answered 413.
+const DefaultMaxRequestBytes = 16 << 20
 
 // maxCandidates bounds client-requested work per call: the number of
 // candidates one /v1/optimize may enumerate and the number of placements
@@ -86,6 +87,9 @@ type Config struct {
 	// selects DefaultQueueTimeout; negative waits forever (the pre-503
 	// behavior).
 	QueueTimeout time.Duration
+	// MaxRequestBytes caps request body size; larger bodies are rejected
+	// with 413. <= 0 selects DefaultMaxRequestBytes.
+	MaxRequestBytes int64
 }
 
 // DefaultQueueTimeout is the in-flight queue wait bound when Config
@@ -110,6 +114,7 @@ type Server struct {
 	sem          chan struct{}
 	start        time.Time
 	queueTimeout time.Duration
+	maxBody      int64
 	reg          *obs.Registry
 	met          *serveMetrics
 	logger       *slog.Logger
@@ -141,6 +146,10 @@ func New(cfg Config) (*Server, error) {
 	if queueTimeout == 0 {
 		queueTimeout = DefaultQueueTimeout
 	}
+	maxBody := cfg.MaxRequestBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxRequestBytes
+	}
 	s := &Server{
 		cfg:          cfg,
 		pred:         cfg.Predictor,
@@ -149,6 +158,7 @@ func New(cfg Config) (*Server, error) {
 		sem:          make(chan struct{}, maxInFlight),
 		start:        time.Now(),
 		queueTimeout: queueTimeout,
+		maxBody:      maxBody,
 		reg:          reg,
 		met:          newServeMetrics(reg),
 		logger:       cfg.Logger,
@@ -189,7 +199,7 @@ func New(cfg Config) (*Server, error) {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -390,9 +400,24 @@ func decodeRequest(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return fmt.Errorf("request body exceeds %d bytes: %w", tooBig.Limit, tooBig)
+		}
 		return fmt.Errorf("invalid request body: %v", err)
 	}
 	return nil
+}
+
+// writeDecodeError maps a decodeRequest failure to its status: 413 for
+// an oversized body, 400 otherwise.
+func (s *Server) writeDecodeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		status = http.StatusRequestEntityTooLarge
+	}
+	s.writeError(w, status, "%v", err)
 }
 
 // validatePair checks the parts shared by every request kind.
@@ -418,7 +443,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Costream-Trace", sp.ID())
 	var req PredictRequest
 	if err := decodeRequest(r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeDecodeError(w, err)
 		return
 	}
 	if err := validatePair(req.Query, req.Cluster); err != nil {
@@ -470,7 +495,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	var req PredictBatchRequest
 	if err := decodeRequest(r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeDecodeError(w, err)
 		return
 	}
 	if err := validatePair(req.Query, req.Cluster); err != nil {
@@ -514,7 +539,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Costream-Trace", sp.ID())
 	var req OptimizeRequest
 	if err := decodeRequest(r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeDecodeError(w, err)
 		return
 	}
 	if err := validatePair(req.Query, req.Cluster); err != nil {
@@ -559,12 +584,20 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.writeSaturated(w)
 		return
 	}
-	res, err := placement.Search(s.pred, req.Query, req.Cluster, strat, obj,
+	// The request context threads into the search: a disconnecting
+	// client stops candidate scoring at the next batch instead of
+	// burning the full budget.
+	res, err := placement.SearchCtx(r.Context(), s.pred, req.Query, req.Cluster, strat, obj,
 		placement.Budget{MaxCandidates: k, MaxRounds: req.Rounds},
 		placement.SearchOptions{Workers: s.cfg.OptimizeWorkers, Seed: seed, Telemetry: req.Debug})
 	s.release()
 	sp.Stage("search")
 	if err != nil {
+		if r.Context().Err() != nil {
+			// The client is gone; nobody reads this response.
+			s.writeError(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
+			return
+		}
 		s.writeError(w, http.StatusUnprocessableEntity, "optimization failed: %v", err)
 		return
 	}
