@@ -11,6 +11,7 @@ package costream
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -23,6 +24,7 @@ import (
 	"costream/internal/core"
 	"costream/internal/dataset"
 	"costream/internal/experiments"
+	"costream/internal/fleet"
 	"costream/internal/gnn"
 	"costream/internal/hardware"
 	"costream/internal/nn"
@@ -488,6 +490,32 @@ func BenchmarkSearch(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFleetScenario runs the crash-cascade reference scenario end to
+// end — deploy, zone outage, load spike, partial recovery — with the
+// trained five-metric predictor scoring every self-healing re-search.
+// Workers is pinned to 1 so ns/op tracks scoring cost, not scheduler
+// luck; the report is deterministic for any worker count.
+func BenchmarkFleetScenario(b *testing.B) {
+	optimizeBenchSetup(b)
+	sc, err := fleet.Load("examples/crashcascade/scenario.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := fleet.Run(context.Background(), sc, fleet.RunOptions{
+			Predictor: optBenchPred, Workers: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Timeline) == 0 {
+			b.Fatal("fleet run produced an empty timeline")
+		}
 	}
 }
 

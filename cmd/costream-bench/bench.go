@@ -18,10 +18,14 @@ type Measurement struct {
 
 // Entry is either a flat measurement or a committed before/after pair
 // (as in BENCH_<pr>.json); Current returns the value to compare against.
+// A baseline entry may carry its own Tolerance, overriding the compare
+// run's global one — noisier benchmarks (multi-worker fan-outs, whole
+// fleet scenarios) get wider gates without loosening the rest.
 type Entry struct {
 	Measurement
-	Before *Measurement `json:"before,omitempty"`
-	After  *Measurement `json:"after,omitempty"`
+	Before    *Measurement `json:"before,omitempty"`
+	After     *Measurement `json:"after,omitempty"`
+	Tolerance *float64     `json:"tolerance,omitempty"`
 }
 
 // Current returns the entry's comparable measurement: "after" when the

@@ -75,11 +75,11 @@ func TestCompareUsesAfterAndGates(t *testing.T) {
 
 	// 600000 is within 20% of the baseline's "after" (550000); benchmarks
 	// present on only one side are ignored.
-	if ok, err := runCompare(base, okRun, 0.20); err != nil || !ok {
+	if ok, err := runCompare(base, okRun, 0.20, ""); err != nil || !ok {
 		t.Fatalf("within-tolerance run: ok=%v err=%v", ok, err)
 	}
 	// 700000 is a 27% ns/op regression: must gate.
-	if ok, err := runCompare(base, bad, 0.20); err != nil || ok {
+	if ok, err := runCompare(base, bad, 0.20, ""); err != nil || ok {
 		t.Fatalf("regressed run: ok=%v err=%v, want gate", ok, err)
 	}
 }
@@ -91,8 +91,76 @@ func TestCompareGatesOnAllocs(t *testing.T) {
 	bad := writeBench(t, "bad.json", `{
 	  "benchmarks": {"BenchmarkX": {"ns_per_op": 1000, "allocs_per_op": 150}}
 	}`)
-	if ok, err := runCompare(base, bad, 0.20); err != nil || ok {
+	if ok, err := runCompare(base, bad, 0.20, ""); err != nil || ok {
 		t.Fatalf("alloc regression: ok=%v err=%v, want gate", ok, err)
+	}
+}
+
+// TestComparePerBenchmarkTolerance: a baseline entry's own tolerance
+// overrides the global one in both directions — widening the gate for a
+// noisy benchmark, tightening it for a stable one.
+func TestComparePerBenchmarkTolerance(t *testing.T) {
+	base := writeBench(t, "base.json", `{
+	  "benchmarks": {
+	    "BenchmarkNoisy":  {"ns_per_op": 1000, "allocs_per_op": 100, "tolerance": 0.50},
+	    "BenchmarkStable": {"ns_per_op": 1000, "allocs_per_op": 100, "tolerance": 0.05}
+	  }
+	}`)
+	// Noisy regresses 40% (inside its 50% gate), stable is unchanged.
+	loose := writeBench(t, "loose.json", `{
+	  "benchmarks": {
+	    "BenchmarkNoisy":  {"ns_per_op": 1400, "allocs_per_op": 100},
+	    "BenchmarkStable": {"ns_per_op": 1000, "allocs_per_op": 100}
+	  }
+	}`)
+	if ok, err := runCompare(base, loose, 0.20, ""); err != nil || !ok {
+		t.Fatalf("override-widened run: ok=%v err=%v", ok, err)
+	}
+	// Stable regresses 10%: inside the global 20% but outside its 5% gate.
+	tight := writeBench(t, "tight.json", `{
+	  "benchmarks": {
+	    "BenchmarkNoisy":  {"ns_per_op": 1000, "allocs_per_op": 100},
+	    "BenchmarkStable": {"ns_per_op": 1100, "allocs_per_op": 100}
+	  }
+	}`)
+	if ok, err := runCompare(base, tight, 0.20, ""); err != nil || ok {
+		t.Fatalf("override-tightened run: ok=%v err=%v, want gate", ok, err)
+	}
+}
+
+// TestCompareWritesMarkdownSummary: -summary appends a markdown diff
+// table (the CI job summary) with one row per compared benchmark.
+func TestCompareWritesMarkdownSummary(t *testing.T) {
+	base := writeBench(t, "base.json", `{
+	  "benchmarks": {"BenchmarkX": {"ns_per_op": 1000, "allocs_per_op": 100}}
+	}`)
+	cur := writeBench(t, "cur.json", `{
+	  "benchmarks": {"BenchmarkX": {"ns_per_op": 1500, "allocs_per_op": 100}}
+	}`)
+	summary := filepath.Join(t.TempDir(), "summary.md")
+	if ok, err := runCompare(base, cur, 0.20, summary); err != nil || ok {
+		t.Fatalf("regressed run: ok=%v err=%v, want gate", ok, err)
+	}
+	data, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(data)
+	for _, want := range []string{"| `BenchmarkX` |", "+50.0%", "REGRESSION", "| benchmark |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("summary missing %q:\n%s", want, md)
+		}
+	}
+	// A second compare appends rather than truncates.
+	if _, err := runCompare(base, cur, 0.20, summary); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "### Benchmark diff"); got != 2 {
+		t.Fatalf("summary holds %d diff sections after two compares, want 2", got)
 	}
 }
 

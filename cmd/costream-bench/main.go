@@ -9,13 +9,15 @@
 // with a per-benchmark diff when ns/op or allocs/op regress by more
 // than the tolerance:
 //
-//	costream-bench -compare BENCH_6.json -new BENCH_pr.json -tolerance 0.20
+//	costream-bench -compare BENCH_9.json -new BENCH_pr.json -tolerance 0.20
 //
 // Baseline entries may be flat measurements or {"before": ..., "after":
-// ...} pairs as committed in BENCH_<pr>.json; compare uses "after".
-// Only benchmarks present in both files are compared, so
-// machine-dependent sub-benchmarks (e.g. workers=N fan-outs) don't have
-// to match across environments.
+// ...} pairs as committed in BENCH_<pr>.json; compare uses "after". A
+// baseline entry's "tolerance" field overrides the global -tolerance for
+// that benchmark. -summary appends the diff as a markdown table to a
+// file (CI points it at $GITHUB_STEP_SUMMARY). Only benchmarks present
+// in both files are compared, so machine-dependent sub-benchmarks (e.g.
+// workers=N fan-outs) don't have to match across environments.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 func main() {
@@ -32,7 +35,8 @@ func main() {
 		out       = flag.String("out", "", "write parsed JSON here (default stdout)")
 		baseline  = flag.String("compare", "", "baseline BENCH JSON to compare against")
 		fresh     = flag.String("new", "", "freshly parsed BENCH JSON (with -compare)")
-		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional regression in ns/op and allocs/op")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional regression in ns/op and allocs/op (baseline entries may override per benchmark)")
+		summary   = flag.String("summary", "", "append a markdown diff table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	)
 	flag.Parse()
 	switch {
@@ -42,7 +46,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *baseline != "":
-		ok, err := runCompare(*baseline, *fresh, *tolerance)
+		ok, err := runCompare(*baseline, *fresh, *tolerance, *summary)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "costream-bench:", err)
 			os.Exit(1)
@@ -85,7 +89,7 @@ func runParse(in, out string) error {
 	return os.WriteFile(out, data, 0o644)
 }
 
-func runCompare(basePath, newPath string, tol float64) (bool, error) {
+func runCompare(basePath, newPath string, tol float64, summaryPath string) (bool, error) {
 	if newPath == "" {
 		return false, fmt.Errorf("-compare requires -new")
 	}
@@ -108,23 +112,46 @@ func runCompare(basePath, newPath string, tol float64) (bool, error) {
 		return false, fmt.Errorf("no common benchmarks between %s and %s", basePath, newPath)
 	}
 	ok := true
+	var md strings.Builder
+	fmt.Fprintf(&md, "### Benchmark diff vs `%s`\n\n", basePath)
+	md.WriteString("| benchmark | ns/op | Δ ns/op | allocs/op | tol | status |\n")
+	md.WriteString("|---|---:|---:|---:|---:|---|\n")
 	for _, name := range names {
-		b, c := base.Benchmarks[name].Current(), cur.Benchmarks[name].Current()
-		nsBad := c.NsPerOp > b.NsPerOp*(1+tol)
-		allocBad := float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol)
+		be := base.Benchmarks[name]
+		b, c := be.Current(), cur.Benchmarks[name].Current()
+		t := tol
+		if be.Tolerance != nil {
+			t = *be.Tolerance
+		}
+		nsBad := c.NsPerOp > b.NsPerOp*(1+t)
+		allocBad := float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+t)
 		status := "ok"
 		if nsBad || allocBad {
 			status = "REGRESSION"
 			ok = false
 		}
-		fmt.Printf("%-40s %12.0f -> %12.0f ns/op (%+.1f%%)  %6d -> %6d allocs/op  [%s]\n",
-			name, b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp-b.NsPerOp)/b.NsPerOp,
-			b.AllocsPerOp, c.AllocsPerOp, status)
+		delta := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		fmt.Printf("%-40s %12.0f -> %12.0f ns/op (%+.1f%%)  %6d -> %6d allocs/op  tol %.0f%%  [%s]\n",
+			name, b.NsPerOp, c.NsPerOp, delta, b.AllocsPerOp, c.AllocsPerOp, t*100, status)
+		fmt.Fprintf(&md, "| `%s` | %.0f → %.0f | %+.1f%% | %d → %d | %.0f%% | %s |\n",
+			name, b.NsPerOp, c.NsPerOp, delta, b.AllocsPerOp, c.AllocsPerOp, t*100, status)
 	}
 	if !ok {
-		fmt.Printf("FAIL: regression beyond %.0f%% tolerance vs %s\n", tol*100, basePath)
+		fmt.Printf("FAIL: regression beyond tolerance vs %s\n", basePath)
+		md.WriteString("\n**FAIL**: regression beyond tolerance.\n")
 	} else {
-		fmt.Printf("ok: %d benchmarks within %.0f%% of %s\n", len(names), tol*100, basePath)
+		fmt.Printf("ok: %d benchmarks within tolerance of %s\n", len(names), basePath)
+		fmt.Fprintf(&md, "\nok: %d benchmarks within tolerance.\n", len(names))
+	}
+	if summaryPath != "" {
+		f, err := os.OpenFile(summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return ok, fmt.Errorf("summary %s: %w", summaryPath, err)
+		}
+		defer f.Close()
+		if _, err := f.WriteString(md.String()); err != nil {
+			return ok, fmt.Errorf("summary %s: %w", summaryPath, err)
+		}
 	}
 	return ok, nil
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sync"
-	"time"
 
 	"costream/internal/gnn"
 	"costream/internal/hardware"
@@ -14,23 +13,38 @@ import (
 )
 
 // inferMetrics times the batched inference path in the default registry:
-// the placement-invariant featurization setup per PredictBatch call and
-// the full scoring (graph assembly + all ensembles) per candidate.
+// the placement-invariant featurization setup per scoring session, the
+// per-tile fused scoring, and the per-candidate fallback scoring.
 type inferMetrics struct {
 	featurizeSeconds *obs.Histogram
 	candidateSeconds *obs.Histogram
+	tileSeconds      *obs.Histogram
+	tileSize         *obs.Histogram
 	candidates       *obs.Counter
+	fusedTiles       *obs.Counter
+	fusedCandidates  *obs.Counter
+	fallbackCands    *obs.Counter
 }
 
 var inferMet = sync.OnceValue(func() *inferMetrics {
 	r := obs.Default()
 	return &inferMetrics{
 		featurizeSeconds: r.Histogram("costream_inference_featurize_seconds",
-			"placement-invariant featurization setup per PredictBatch call", 1e-9),
+			"placement-invariant featurization setup per scoring session (TileSession / PredictBatch)", 1e-9),
 		candidateSeconds: r.Histogram("costream_inference_candidate_seconds",
-			"full scoring of one placement candidate across all cost-metric ensembles", 1e-9),
+			"full scoring of one placement candidate on the per-candidate fallback path", 1e-9),
+		tileSeconds: r.Histogram("costream_inference_tile_seconds",
+			"full scoring of one candidate tile across all cost-metric ensembles", 1e-9),
+		tileSize: r.Histogram("costream_inference_tile_size",
+			"candidates per scored tile (fused round scoring)", 1),
 		candidates: r.Counter("costream_inference_candidates_total",
 			"placement candidates scored through the batched inference path"),
+		fusedTiles: r.Counter("costream_inference_fused_tiles_total",
+			"candidate tiles scored through the packed cross-candidate kernels"),
+		fusedCandidates: r.Counter("costream_inference_fused_candidates_total",
+			"placement candidates scored through the packed cross-candidate kernels"),
+		fallbackCands: r.Counter("costream_inference_fallback_candidates_total",
+			"placement candidates scored per candidate inside a tile (unstackable ensembles)"),
 	}
 })
 
@@ -97,6 +111,51 @@ func (bf *BatchFeaturizer) BuildGraph(p sim.Placement) (*gnn.Graph, error) {
 	return g, nil
 }
 
+// buildGraphInto is BuildGraph into caller-owned storage: the graph's
+// node and placement-edge slices are recycled across calls, and the
+// host-node map is replaced by the hostSlot scratch array (grown and
+// reset here), so steady-state candidate assembly allocates nothing.
+// For FeatQueryOnly the shell aliases the shared base. The result is
+// value-identical to BuildGraph — same nodes, same shared feature
+// slices, same edge order — and must be treated as read-only.
+func (bf *BatchFeaturizer) buildGraphInto(p sim.Placement, g *gnn.Graph, hostSlot *[]int) error {
+	if bf.mode == FeatQueryOnly {
+		g.Nodes = bf.base.Nodes
+		g.FlowEdges = bf.base.FlowEdges
+		g.PlaceEdges = nil
+		return nil
+	}
+	if err := p.Validate(bf.q, bf.c); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	nOps := len(bf.base.Nodes)
+	if cap(g.Nodes) < nOps+len(p) {
+		g.Nodes = make([]gnn.Node, nOps, nOps+len(p))
+	} else {
+		g.Nodes = g.Nodes[:nOps]
+	}
+	copy(g.Nodes, bf.base.Nodes)
+	g.FlowEdges = bf.base.FlowEdges
+	g.PlaceEdges = g.PlaceEdges[:0]
+	if cap(*hostSlot) < len(bf.hostFeat) {
+		*hostSlot = make([]int, len(bf.hostFeat))
+	}
+	slots := (*hostSlot)[:len(bf.hostFeat)]
+	for i := range slots {
+		slots[i] = -1
+	}
+	for opIdx, h := range p {
+		node := slots[h]
+		if node < 0 {
+			node = len(g.Nodes)
+			slots[h] = node
+			g.Nodes = append(g.Nodes, gnn.Node{Kind: gnn.KindHost, Feat: bf.hostFeat[h]})
+		}
+		g.PlaceEdges = append(g.PlaceEdges, [2]int{opIdx, node})
+	}
+	return nil
+}
+
 // ensembles lists the predictor's per-metric ensembles in paper order,
 // skipping untrained slots.
 func (pr *Predictor) ensembles() []*Ensemble {
@@ -110,90 +169,24 @@ func (pr *Predictor) ensembles() []*Ensemble {
 }
 
 // PredictBatch implements placement.BatchPredictor: it scores every
-// candidate with all ensemble members, featurizing each candidate once
-// and sharing the resulting graph across the (up to) 5 metrics x k
-// ensemble members — instead of rebuilding it 5*k times as per-candidate
-// PredictPlacement calls would. Outputs match PredictPlacement exactly.
+// candidate with all ensemble members through a one-off TileSession —
+// the placement-invariant featurization runs once for the whole batch,
+// and each tile of candidates advances through the packed
+// cross-candidate kernels (see TileSession.ScoreTile). Outputs match
+// per-candidate PredictPlacement exactly. Callers scoring several
+// batches for one (query, cluster) should hold a TileSession instead.
 func (pr *Predictor) PredictBatch(q *stream.Query, c *hardware.Cluster, candidates []sim.Placement) ([]placement.PredCosts, error) {
-	met := inferMet()
-	featStart := time.Now()
-	// One BatchFeaturizer per distinct featurization mode; in practice a
-	// predictor uses one mode, but Exp 7a ablations may mix them.
-	batches := map[FeatureMode]*BatchFeaturizer{}
-	for _, e := range pr.ensembles() {
-		for _, m := range e.Models {
-			if _, ok := batches[m.Feat.Mode]; !ok {
-				bf, err := m.Feat.NewBatch(q, c)
-				if err != nil {
-					return nil, err
-				}
-				batches[m.Feat.Mode] = bf
-			}
-		}
+	sess, err := pr.NewTileSession(q, c)
+	if err != nil {
+		return nil, err
 	}
-
-	met.featurizeSeconds.Since(featStart)
-
 	out := make([]placement.PredCosts, len(candidates))
-	src := &batchSource{
-		batches: batches,
-		gcache:  make(map[FeatureMode]*gnn.Graph, len(batches)),
-	}
-	w := getInferScratch()
-	defer putInferScratch(w)
-	for i, p := range candidates {
-		candStart := time.Now()
-		clear(src.gcache)
-		src.p = p
-		// value and label mirror Ensemble.PredictValue / PredictLabel on
-		// the shared graph, keeping the accumulation order identical so
-		// results are bit-equal to the per-candidate path; stackable
-		// ensembles additionally ride the one-pass stacked kernels.
-		value := func(e *Ensemble) (float64, error) {
-			vals, err := e.predictWith(src, w)
-			if err != nil {
-				return 0, err
-			}
-			return meanOf(vals), nil
+	tile := sess.TileSize()
+	for lo := 0; lo < len(candidates); lo += tile {
+		hi := min(lo+tile, len(candidates))
+		if err := sess.ScoreTile(candidates[lo:hi], out[lo:hi]); err != nil {
+			return nil, fmt.Errorf("core: batch candidates %d-%d: %w", lo, hi-1, err)
 		}
-		label := func(e *Ensemble) (bool, error) {
-			probs, err := e.predictWith(src, w)
-			if err != nil {
-				return false, err
-			}
-			return voteOf(probs), nil
-		}
-
-		costs := placement.PredCosts{Success: true}
-		var err error
-		if pr.Throughput != nil {
-			if costs.ThroughputTPS, err = value(pr.Throughput); err != nil {
-				return nil, fmt.Errorf("core: batch candidate %d: %w", i, err)
-			}
-		}
-		if pr.ProcLatency != nil {
-			if costs.ProcLatencyMS, err = value(pr.ProcLatency); err != nil {
-				return nil, fmt.Errorf("core: batch candidate %d: %w", i, err)
-			}
-		}
-		if pr.E2ELatency != nil {
-			if costs.E2ELatencyMS, err = value(pr.E2ELatency); err != nil {
-				return nil, fmt.Errorf("core: batch candidate %d: %w", i, err)
-			}
-		}
-		if pr.Backpressure != nil {
-			if costs.Backpressured, err = label(pr.Backpressure); err != nil {
-				return nil, fmt.Errorf("core: batch candidate %d: %w", i, err)
-			}
-		}
-		if pr.Success != nil {
-			if costs.Success, err = label(pr.Success); err != nil {
-				return nil, fmt.Errorf("core: batch candidate %d: %w", i, err)
-			}
-		}
-		out[i] = costs
-		met.candidateSeconds.Since(candStart)
-		met.candidates.Inc()
 	}
 	return out, nil
 }

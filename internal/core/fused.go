@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"costream/internal/gnn"
+	"costream/internal/hardware"
+	"costream/internal/placement"
+	"costream/internal/sim"
+	"costream/internal/stream"
+)
+
+// fusedSlot is one stackable metric ensemble of a scoring session: the
+// ensemble itself (for head transforms, fast32 and path counters) plus a
+// snapshot of its weight stack, pinned for the session's lifetime so a
+// concurrent Invalidate cannot swap weights mid-round.
+type fusedSlot struct {
+	e    *Ensemble
+	sm   *gnn.StackedModel
+	mode FeatureMode
+}
+
+// TileSession implements placement.TileScorer for the ensemble
+// predictor: one session per search round hoists the placement-invariant
+// featurization (operator graph, per-host features, message-passing
+// plan) and the ensemble stack snapshots, and ScoreTile then advances a
+// whole candidate tile through the packed cross-candidate kernels — one
+// gnn.InferEnsembleBatch pass per metric ensemble instead of one
+// per-candidate pass each. Ensembles that cannot be stacked (traditional
+// message passing, mixed featurization modes) are scored per candidate
+// inside the tile, so mixed predictors still work and still match the
+// per-candidate path exactly.
+//
+// ScoreTile is safe for concurrent use: all mutable state lives in
+// pooled per-call scratch.
+type TileSession struct {
+	pr      *Predictor
+	q       *stream.Query
+	c       *hardware.Cluster
+	batches map[FeatureMode]*BatchFeaturizer
+	fused   []fusedSlot // stackable ensembles, paper metric order
+	slow    []*Ensemble // unstackable ensembles, paper metric order
+	tile    int
+}
+
+// NewScoreSession implements placement.SessionPredictor.
+func (pr *Predictor) NewScoreSession(q *stream.Query, c *hardware.Cluster) (placement.TileScorer, error) {
+	return pr.NewTileSession(q, c)
+}
+
+// NewTileSession prepares a scoring session for the (query, cluster)
+// pair: per-mode batch featurizers, the stack snapshot per ensemble, and
+// the cache-bounded default tile size.
+func (pr *Predictor) NewTileSession(q *stream.Query, c *hardware.Cluster) (*TileSession, error) {
+	met := inferMet()
+	featStart := time.Now()
+	s := &TileSession{
+		pr:      pr,
+		q:       q,
+		c:       c,
+		batches: map[FeatureMode]*BatchFeaturizer{},
+	}
+	for _, e := range pr.ensembles() {
+		for _, m := range e.Models {
+			if _, ok := s.batches[m.Feat.Mode]; !ok {
+				bf, err := m.Feat.NewBatch(q, c)
+				if err != nil {
+					return nil, err
+				}
+				s.batches[m.Feat.Mode] = bf
+			}
+		}
+		if st := e.stacked(); st.sm != nil {
+			s.fused = append(s.fused, fusedSlot{e: e, sm: st.sm, mode: st.mode})
+		} else {
+			s.slow = append(s.slow, e)
+		}
+	}
+	s.tile = s.tileCap()
+	met.featurizeSeconds.Since(featStart)
+	return s, nil
+}
+
+// maxTile caps the tile width: beyond it the per-candidate kernel rows
+// stop improving AVX utilization while the activation planes keep
+// growing.
+const maxTile = 32
+
+// tileActivationBudget bounds the fused pass's per-tile activation
+// footprint so the planes stay cache-resident on typical L2/L3 slices.
+const tileActivationBudget = 4 << 20
+
+// tileCap sizes tiles from the widest fused slot's per-candidate
+// activation footprint: two nOps-node operator planes (phase-2 and
+// final states) plus the host, gather, concat and readout rows, each
+// k*Hidden floats wide. No fused slot (pure fallback predictors) keeps
+// the cap at maxTile — the tile then only bounds featurization reuse.
+func (s *TileSession) tileCap() int {
+	maxKH, nOps, maxHosts := 0, 0, 0
+	for _, fs := range s.fused {
+		if kH := fs.sm.K() * fs.sm.Hidden(); kH > maxKH {
+			maxKH = kH
+		}
+		if bf := s.batches[fs.mode]; bf != nil && len(bf.base.Nodes) > nOps {
+			nOps = len(bf.base.Nodes)
+		}
+	}
+	if maxKH == 0 || nOps == 0 {
+		return maxTile
+	}
+	if s.c != nil {
+		maxHosts = min(nOps, len(s.c.Hosts))
+	}
+	perCand := (2*(nOps+maxHosts) + 6) * maxKH * 8
+	tile := tileActivationBudget / perCand
+	return max(1, min(tile, maxTile))
+}
+
+// TileSize implements placement.TileScorer.
+func (s *TileSession) TileSize() int { return s.tile }
+
+// SetTileSize overrides the tile-size heuristic (values below 1 restore
+// it). Exposed for tests and benchmarks that sweep tile widths;
+// equivalence tests rely on results being identical at every width.
+func (s *TileSession) SetTileSize(n int) {
+	if n < 1 {
+		n = s.tileCap()
+	}
+	s.tile = n
+}
+
+// modeShells holds the reusable candidate-graph shells of one
+// featurization mode: individually allocated graphs (stable pointers)
+// whose node and placement-edge storage is recycled across tiles, plus
+// the packed form they are flattened into.
+type modeShells struct {
+	graphs []*gnn.Graph
+	pg     *gnn.PackedGraphs
+}
+
+// tileScratch bundles the per-call buffers of one ScoreTile invocation;
+// pooled because tiles are scored concurrently by the search workers.
+type tileScratch struct {
+	modes    map[FeatureMode]*modeShells
+	bs       *gnn.BatchScratch
+	w        *inferScratch
+	gcache   map[FeatureMode]*gnn.Graph
+	vals     []float64
+	hostSlot []int
+}
+
+var tilePool = sync.Pool{New: func() any {
+	return &tileScratch{
+		modes:  map[FeatureMode]*modeShells{},
+		bs:     gnn.NewBatchScratch(),
+		w:      &inferScratch{gs: gnn.NewStackedScratch()},
+		gcache: map[FeatureMode]*gnn.Graph{},
+	}
+}}
+
+func (ts *tileScratch) shells(mode FeatureMode, n int) *modeShells {
+	ms := ts.modes[mode]
+	if ms == nil {
+		ms = &modeShells{}
+		ts.modes[mode] = ms
+	}
+	for len(ms.graphs) < n {
+		ms.graphs = append(ms.graphs, &gnn.Graph{})
+	}
+	return ms
+}
+
+// ScoreTile implements placement.TileScorer: it scores the candidate
+// tile with every metric ensemble, writing one PredCosts per candidate.
+// Stackable ensembles run fused — the tile's graphs are packed once per
+// featurization mode and each ensemble advances all candidates × members
+// in one batched kernel pass; the rest score per candidate. Outputs are
+// bit-identical to per-candidate PredictPlacement at any tile size.
+func (s *TileSession) ScoreTile(cands []sim.Placement, out []placement.PredCosts) error {
+	if len(out) != len(cands) {
+		return fmt.Errorf("core: tile output holds %d slots, want %d", len(out), len(cands))
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	met := inferMet()
+	start := time.Now()
+	for i := range out {
+		out[i] = placement.PredCosts{Success: true}
+	}
+	ts := tilePool.Get().(*tileScratch)
+	defer tilePool.Put(ts)
+
+	if len(s.fused) > 0 {
+		// Pack the tile once per featurization mode used by a fused slot.
+		for mi := range s.fused {
+			mode := s.fused[mi].mode
+			if sameMode(s.fused[:mi], mode) {
+				continue // packed for an earlier slot this call
+			}
+			ms := ts.shells(mode, len(cands))
+			bf := s.batches[mode]
+			for ci, p := range cands {
+				if err := bf.buildGraphInto(p, ms.graphs[ci], &ts.hostSlot); err != nil {
+					return fmt.Errorf("core: tile candidate %d: %w", ci, err)
+				}
+			}
+			pg, err := gnn.PackGraphs(ms.graphs[:len(cands)], bf.Plan(), ms.pg)
+			if err != nil {
+				return fmt.Errorf("core: packing tile: %w", err)
+			}
+			ms.pg = pg
+		}
+		for _, fs := range s.fused {
+			k := fs.sm.K()
+			if cap(ts.vals) < len(cands)*k {
+				ts.vals = make([]float64, len(cands)*k)
+			}
+			vals := ts.vals[:len(cands)*k]
+			pg := ts.modes[fs.mode].pg
+			fusedStart := time.Now()
+			var err error
+			if fs.e.fast32.Load() {
+				err = fs.sm.InferEnsembleBatch32(pg, ts.bs, vals)
+			} else {
+				err = fs.sm.InferEnsembleBatch(pg, ts.bs, vals)
+			}
+			if err != nil {
+				return fmt.Errorf("core: scoring tile for %v: %w", fs.e.Metric, err)
+			}
+			for ci := range cands {
+				row := vals[ci*k : (ci+1)*k]
+				for m := range row {
+					row[m] = fs.e.Models[m].headTransform(row[m])
+				}
+				applyCost(&out[ci], fs.e.Metric, row)
+			}
+			fs.e.paths.recordBatch(true, len(cands), time.Since(fusedStart))
+		}
+		met.fusedTiles.Inc()
+		met.fusedCandidates.Add(int64(len(cands)))
+	}
+
+	for ci, p := range cands {
+		if len(s.slow) == 0 {
+			break
+		}
+		candStart := time.Now()
+		clear(ts.gcache)
+		src := &batchSource{batches: s.batches, gcache: ts.gcache, p: p}
+		for _, e := range s.slow {
+			vals, err := e.predictWith(src, ts.w)
+			if err != nil {
+				return fmt.Errorf("core: tile candidate %d: %w", ci, err)
+			}
+			applyCost(&out[ci], e.Metric, vals)
+		}
+		met.candidateSeconds.Since(candStart)
+		met.fallbackCands.Inc()
+	}
+
+	met.candidates.Add(int64(len(cands)))
+	met.tileSize.Record(int64(len(cands)))
+	met.tileSeconds.Since(start)
+	return nil
+}
+
+// sameMode reports whether an earlier fused slot already uses the mode
+// (and hence already packed the tile's graphs for it).
+func sameMode(slots []fusedSlot, mode FeatureMode) bool {
+	for _, fs := range slots {
+		if fs.mode == mode {
+			return true
+		}
+	}
+	return false
+}
+
+// applyCost folds an ensemble's transformed member outputs into the
+// candidate's cost vector, using the same member-order mean and majority
+// vote as the per-candidate path.
+func applyCost(costs *placement.PredCosts, metric Metric, vals []float64) {
+	switch metric {
+	case MetricThroughput:
+		costs.ThroughputTPS = meanOf(vals)
+	case MetricProcLatency:
+		costs.ProcLatencyMS = meanOf(vals)
+	case MetricE2ELatency:
+		costs.E2ELatencyMS = meanOf(vals)
+	case MetricBackpressure:
+		costs.Backpressured = voteOf(vals)
+	case MetricSuccess:
+		costs.Success = voteOf(vals)
+	}
+}

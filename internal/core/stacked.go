@@ -97,6 +97,21 @@ type pathCounters struct {
 	fallbackNanos atomic.Int64
 }
 
+// recordBatch accounts one fused kernel pass that evaluated n graphs
+// (one "call" per graph, matching the per-candidate accounting).
+func (pc *pathCounters) recordBatch(stacked bool, n int, d time.Duration) {
+	if n <= 0 {
+		return
+	}
+	if stacked {
+		pc.stackedCalls.Add(int64(n))
+		pc.stackedNanos.Add(int64(d))
+	} else {
+		pc.fallbackCalls.Add(int64(n))
+		pc.fallbackNanos.Add(int64(d))
+	}
+}
+
 func (pc *pathCounters) record(stacked bool, d time.Duration) {
 	if stacked {
 		pc.stackedCalls.Add(1)

@@ -1,0 +1,562 @@
+package gnn
+
+import (
+	"fmt"
+
+	"costream/internal/nn"
+)
+
+// PackedGraphs is the packed multi-graph form of one scoring round's
+// candidate tile: C candidate graphs that share the operator-node prefix,
+// the flow edges and the message-passing Plan (as produced by
+// core.BatchFeaturizer), reduced to flat index tables so a StackedModel
+// can advance all C candidates × k members per kernel call instead of one
+// graph at a time. Host nodes — the only per-candidate part — are
+// flattened into "slots": slot s belongs to candidate c when
+// hostOff[c] <= s < hostOff[c+1], in the candidate's node-index order.
+//
+// A PackedGraphs is reusable: Pack with the same receiver re-fills the
+// tables without reallocating once the capacities have grown.
+type PackedGraphs struct {
+	base *Graph // graphs[0]; owner of the shared operator prefix
+	plan *Plan
+	c    int // number of candidates
+	nOps int // operator nodes shared by every candidate
+
+	opsByKind [numKinds][]int // operator node indices grouped by kind
+
+	hostOff  []int       // len c+1: per-candidate host-slot ranges
+	hostFeat [][]float64 // per-slot host feature vectors (read-only refs)
+	kidsOff  []int       // len hostOff[c]+1: per-slot child-list ranges
+	kids     []int       // flattened child operator indices, edge order
+	kidCur   []int       // fill cursors (scratch for the CSR build)
+	opHost   []int       // c×nOps: packed host slot per (cand, op), -1 none
+}
+
+// C returns the number of packed candidates.
+func (pg *PackedGraphs) C() int { return pg.c }
+
+// NumOps returns the number of shared operator nodes.
+func (pg *PackedGraphs) NumOps() int { return pg.nOps }
+
+func growInt(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growFeat(buf [][]float64, n int) [][]float64 {
+	if cap(buf) < n {
+		return make([][]float64, n)
+	}
+	return buf[:n]
+}
+
+// PackGraphs packs candidate graphs sharing one operator prefix and plan
+// into pg (nil allocates a fresh one) and returns it. Sharing is enforced
+// structurally: every graph must reference the identical operator feature
+// slices and flow-edge slice as graphs[0] (how BatchFeaturizer builds
+// candidate graphs), and every node past the operator prefix must be a
+// host. Violations return an error so callers can fall back to per-graph
+// inference rather than silently mis-scoring.
+func PackGraphs(graphs []*Graph, plan *Plan, pg *PackedGraphs) (*PackedGraphs, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("gnn: packing zero graphs")
+	}
+	if plan == nil {
+		return nil, fmt.Errorf("gnn: packing requires a plan")
+	}
+	if pg == nil {
+		pg = &PackedGraphs{}
+	}
+	base := graphs[0]
+	nOps := len(base.Nodes)
+	for i, nd := range base.Nodes {
+		if nd.Kind == KindHost {
+			nOps = i
+			break
+		}
+	}
+	if nOps == 0 {
+		return nil, fmt.Errorf("gnn: packing graphs without operator nodes")
+	}
+	pg.base, pg.plan, pg.c, pg.nOps = base, plan, len(graphs), nOps
+	for kind := range pg.opsByKind {
+		pg.opsByKind[kind] = pg.opsByKind[kind][:0]
+	}
+	for i, nd := range base.Nodes[:nOps] {
+		pg.opsByKind[nd.Kind] = append(pg.opsByKind[nd.Kind], i)
+	}
+
+	pg.hostOff = growInt(pg.hostOff, len(graphs)+1)
+	pg.hostOff[0] = 0
+	for ci, g := range graphs {
+		if len(g.Nodes) < nOps {
+			return nil, fmt.Errorf("gnn: candidate %d has %d nodes, shared prefix needs %d", ci, len(g.Nodes), nOps)
+		}
+		for i := 0; i < nOps; i++ {
+			nd, bd := &g.Nodes[i], &base.Nodes[i]
+			if nd.Kind != bd.Kind || len(nd.Feat) != len(bd.Feat) ||
+				(len(nd.Feat) > 0 && &nd.Feat[0] != &bd.Feat[0]) {
+				return nil, fmt.Errorf("gnn: candidate %d does not share operator node %d with the tile base", ci, i)
+			}
+		}
+		for i := nOps; i < len(g.Nodes); i++ {
+			if g.Nodes[i].Kind != KindHost {
+				return nil, fmt.Errorf("gnn: candidate %d node %d is %v, want host", ci, i, g.Nodes[i].Kind)
+			}
+		}
+		if len(g.FlowEdges) != len(base.FlowEdges) ||
+			(len(g.FlowEdges) > 0 && &g.FlowEdges[0] != &base.FlowEdges[0]) {
+			return nil, fmt.Errorf("gnn: candidate %d does not share the tile base flow edges", ci)
+		}
+		pg.hostOff[ci+1] = pg.hostOff[ci] + len(g.Nodes) - nOps
+	}
+
+	hTot := pg.hostOff[len(graphs)]
+	pg.hostFeat = growFeat(pg.hostFeat, hTot)
+	pg.opHost = growInt(pg.opHost, len(graphs)*nOps)
+	for i := range pg.opHost {
+		pg.opHost[i] = -1
+	}
+	pg.kidsOff = growInt(pg.kidsOff, hTot+1)
+	for i := range pg.kidsOff {
+		pg.kidsOff[i] = 0
+	}
+	// CSR build of the per-slot child-operator lists: count, prefix-sum,
+	// fill — preserving placement-edge order per slot, which is the child
+	// summation order of the per-graph pass (bit-identity depends on it).
+	totalKids := 0
+	for ci, g := range graphs {
+		off := pg.hostOff[ci]
+		for s := off; s < pg.hostOff[ci+1]; s++ {
+			pg.hostFeat[s] = g.Nodes[nOps+s-off].Feat
+		}
+		for _, e := range g.PlaceEdges {
+			op, hn := e[0], e[1]
+			if op < 0 || op >= nOps || hn < nOps || hn >= len(g.Nodes) {
+				return nil, fmt.Errorf("gnn: candidate %d has placement edge (%d,%d) outside the op/host split at %d", ci, op, hn, nOps)
+			}
+			pg.kidsOff[off+hn-nOps+1]++
+			totalKids++
+		}
+	}
+	for s := 0; s < hTot; s++ {
+		pg.kidsOff[s+1] += pg.kidsOff[s]
+	}
+	pg.kids = growInt(pg.kids, totalKids)
+	pg.kidCur = growInt(pg.kidCur, hTot)
+	for s := 0; s < hTot; s++ {
+		pg.kidCur[s] = pg.kidsOff[s]
+	}
+	for ci, g := range graphs {
+		off := pg.hostOff[ci]
+		for _, e := range g.PlaceEdges {
+			slot := off + e[1] - nOps
+			pg.kids[pg.kidCur[slot]] = e[0]
+			pg.kidCur[slot]++
+			pg.opHost[ci*nOps+e[0]] = slot
+		}
+	}
+	return pg, nil
+}
+
+// BatchScratch holds the reusable buffers of a packed multi-candidate
+// forward pass: the shared operator encodings, the packed host planes,
+// the per-candidate operator activation planes and the gather/concat
+// staging blocks, in float64 and float32. One BatchScratch serves one
+// goroutine; a nil scratch is accepted and allocates fresh buffers.
+type BatchScratch struct {
+	encOps   []float64 // nOps × (k·H), shared across candidates
+	hostEnc  []float64 // Σhosts × (k·H) encoder outputs
+	hostNext []float64 // Σhosts × (k·H) phase-1 (= final) host states
+	after2   []float64 // C × nOps × (k·H) phase-2 operator states
+	final    []float64 // C × nOps × (k·H) phase-3 operator states
+	gather   []float64 // rows × featDim encoder inputs
+	cat      []float64 // rows × (k·2H) update inputs
+	tmp      []float64 // rows × (k·H) kernel outputs
+	agg      []float64 // C × (k·H) readout accumulators
+
+	encOps32, hostEnc32, hostNext32, after232 []float32
+	final32, gather32, cat32, tmp32, agg32    []float32
+
+	dense nn.DenseScratch
+}
+
+// NewBatchScratch returns an empty scratch; its buffers grow on first use
+// and are reused afterwards.
+func NewBatchScratch() *BatchScratch { return &BatchScratch{} }
+
+// checkBatch runs the per-node encoder checks of a packed pass (the
+// structural validation happened in PackGraphs).
+func (sm *StackedModel) checkBatch(pg *PackedGraphs) error {
+	for kind := range pg.opsByKind {
+		idxs := pg.opsByKind[kind]
+		if len(idxs) == 0 {
+			continue
+		}
+		enc, ok := sm.enc[NodeKind(kind)]
+		if !ok {
+			return fmt.Errorf("gnn: no encoder for kind %v", NodeKind(kind))
+		}
+		for _, idx := range idxs {
+			if len(pg.base.Nodes[idx].Feat) != enc.InDim() {
+				return fmt.Errorf("gnn: node %d (%v) has %d features, encoder wants %d",
+					idx, NodeKind(kind), len(pg.base.Nodes[idx].Feat), enc.InDim())
+			}
+		}
+	}
+	if hTot := pg.hostOff[pg.c]; hTot > 0 {
+		enc, ok := sm.enc[KindHost]
+		if !ok {
+			return fmt.Errorf("gnn: no encoder for kind %v", KindHost)
+		}
+		for s, f := range pg.hostFeat[:hTot] {
+			if len(f) != enc.InDim() {
+				return fmt.Errorf("gnn: host slot %d has %d features, encoder wants %d",
+					s, len(f), enc.InDim())
+			}
+		}
+	}
+	return nil
+}
+
+// InferEnsembleBatch runs one forward pass for all C packed candidates and
+// all k members at once, writing the raw member outputs candidate-major
+// into out (len C·k: candidate c's member m lands at out[c·k+m]). Every
+// value is bit-identical to InferEnsemble on the candidate's own graph —
+// and hence to Model.InferPlanned per member: all kernels are
+// row-independent with a fixed per-row accumulation order, so batching
+// rows across candidates cannot change any result. Cross-candidate fusion
+// turns the sequential phase-3 flow walk from nOps·C single-row kernel
+// calls into nOps calls of C rows each — the main win for search rounds.
+func (sm *StackedModel) InferEnsembleBatch(pg *PackedGraphs, s *BatchScratch, out []float64) error {
+	c, nOps := pg.c, pg.nOps
+	if len(out) != c*sm.k {
+		return fmt.Errorf("gnn: output buffer holds %d values, want %d candidates x %d members", len(out), c, sm.k)
+	}
+	if err := sm.checkBatch(pg); err != nil {
+		return err
+	}
+	if s == nil {
+		s = NewBatchScratch()
+	}
+	H := sm.cfg.Hidden
+	kH := sm.k * H
+	k2H := sm.k * 2 * H
+	hTot := pg.hostOff[c]
+
+	// Encode the shared operator prefix once for every candidate, one
+	// matrix-matrix pass per node kind (features shared across members).
+	s.encOps = grow64(s.encOps, nOps*kH)
+	for kind := range pg.opsByKind {
+		idxs := pg.opsByKind[kind]
+		if len(idxs) == 0 {
+			continue
+		}
+		enc := sm.enc[NodeKind(kind)]
+		in := enc.InDim()
+		s.gather = grow64(s.gather, len(idxs)*in)
+		for r, idx := range idxs {
+			copy(s.gather[r*in:(r+1)*in], pg.base.Nodes[idx].Feat)
+		}
+		s.tmp = grow64(s.tmp, len(idxs)*kH)
+		enc.ForwardShared(s.tmp, s.gather, len(idxs), &s.dense)
+		for r, idx := range idxs {
+			copy(s.encOps[idx*kH:(idx+1)*kH], s.tmp[r*kH:(r+1)*kH])
+		}
+	}
+
+	// Encode all host slots of the tile and run phase 1 (operators ->
+	// hardware) over every slot of every candidate in one kernel call: a
+	// host's phase-1 state is also its final state (phases 2 and 3 only
+	// write operators).
+	if hTot > 0 {
+		enc := sm.enc[KindHost]
+		in := enc.InDim()
+		s.gather = grow64(s.gather, hTot*in)
+		for slot, f := range pg.hostFeat[:hTot] {
+			copy(s.gather[slot*in:(slot+1)*in], f)
+		}
+		s.hostEnc = grow64(s.hostEnc, hTot*kH)
+		enc.ForwardShared(s.hostEnc, s.gather, hTot, &s.dense)
+
+		s.cat = grow64(s.cat, hTot*k2H)
+		for slot := 0; slot < hTot; slot++ {
+			kids := pg.kids[pg.kidsOff[slot]:pg.kidsOff[slot+1]]
+			catRow(s.cat[slot*k2H:(slot+1)*k2H], kids, slot, sm.k, H, s.encOps, s.hostEnc)
+		}
+		s.hostNext = grow64(s.hostNext, hTot*kH)
+		sm.upd[KindHost].ForwardBlocks(s.hostNext, s.cat, hTot, &s.dense)
+	}
+
+	// Phase 2 (hardware -> operators), batched per operator kind across
+	// all candidates. Operators without a placement edge keep their
+	// encoder state, so the plane starts as a per-candidate broadcast of
+	// the shared encodings.
+	s.after2 = grow64(s.after2, c*nOps*kH)
+	for ci := 0; ci < c; ci++ {
+		copy(s.after2[ci*nOps*kH:(ci+1)*nOps*kH], s.encOps[:nOps*kH])
+	}
+	if hTot > 0 {
+		var kidBuf [1]int
+		for kind := range pg.opsByKind {
+			idxs := pg.opsByKind[kind]
+			if len(idxs) == 0 {
+				continue
+			}
+			rows := 0
+			for ci := 0; ci < c; ci++ {
+				for _, v := range idxs {
+					if pg.opHost[ci*nOps+v] >= 0 {
+						rows++
+					}
+				}
+			}
+			if rows == 0 {
+				continue
+			}
+			s.cat = grow64(s.cat, rows*k2H)
+			r := 0
+			for ci := 0; ci < c; ci++ {
+				for _, v := range idxs {
+					slot := pg.opHost[ci*nOps+v]
+					if slot < 0 {
+						continue
+					}
+					kidBuf[0] = slot
+					catRow(s.cat[r*k2H:(r+1)*k2H], kidBuf[:], v, sm.k, H, s.hostNext, s.encOps)
+					r++
+				}
+			}
+			s.tmp = grow64(s.tmp, rows*kH)
+			sm.upd[NodeKind(kind)].ForwardBlocks(s.tmp, s.cat, rows, &s.dense)
+			r = 0
+			for ci := 0; ci < c; ci++ {
+				for _, v := range idxs {
+					if pg.opHost[ci*nOps+v] < 0 {
+						continue
+					}
+					copy(s.after2[(ci*nOps+v)*kH:(ci*nOps+v+1)*kH], s.tmp[r*kH:(r+1)*kH])
+					r++
+				}
+			}
+		}
+	}
+
+	// Phase 3 (sources -> ... -> sink): inherently sequential along the
+	// flow order, but each step advances all C candidates x k members in
+	// one kernel call of C rows.
+	s.final = grow64(s.final, c*nOps*kH)
+	copy(s.final, s.after2[:c*nOps*kH])
+	s.cat = grow64(s.cat, max(len(s.cat), c*k2H))
+	s.tmp = grow64(s.tmp, max(len(s.tmp), c*kH))
+	for _, v := range pg.plan.order {
+		parents := pg.plan.ups[v]
+		if len(parents) == 0 {
+			continue // sources send but do not receive in this phase
+		}
+		for ci := 0; ci < c; ci++ {
+			plane := ci * nOps * kH
+			catRow(s.cat[ci*k2H:(ci+1)*k2H], parents, v, sm.k, H,
+				s.final[plane:plane+nOps*kH], s.after2[plane:plane+nOps*kH])
+		}
+		sm.upd[pg.base.Nodes[v].Kind].ForwardBlocks(s.tmp[:c*kH], s.cat[:c*k2H], c, &s.dense)
+		for ci := 0; ci < c; ci++ {
+			copy(s.final[(ci*nOps+v)*kH:(ci*nOps+v+1)*kH], s.tmp[ci*kH:(ci+1)*kH])
+		}
+	}
+
+	// Readout: per candidate, the per-member sum over node states in node
+	// order — operators first, then the candidate's hosts in slot order
+	// (their first-use node order) — then one stacked output pass of C
+	// rows.
+	s.agg = grow64(s.agg, c*kH)
+	for ci := 0; ci < c; ci++ {
+		agg := s.agg[ci*kH : (ci+1)*kH]
+		fin := s.final[ci*nOps*kH : (ci+1)*nOps*kH]
+		copy(agg, fin[:kH])
+		for v := 1; v < nOps; v++ {
+			blk := fin[v*kH : (v+1)*kH]
+			for i, x := range blk {
+				agg[i] += x
+			}
+		}
+		for slot := pg.hostOff[ci]; slot < pg.hostOff[ci+1]; slot++ {
+			blk := s.hostNext[slot*kH : (slot+1)*kH]
+			for i, x := range blk {
+				agg[i] += x
+			}
+		}
+	}
+	s.tmp = grow64(s.tmp, max(len(s.tmp), c*sm.k))
+	sm.out.ForwardBlocks(s.tmp[:c*sm.k], s.agg[:c*kH], c, &s.dense)
+	copy(out, s.tmp[:c*sm.k])
+	return nil
+}
+
+// InferEnsembleBatch32 is InferEnsembleBatch on the float32 fast path:
+// same kernel structure and row batching, float32 weights and
+// activations. It is bit-identical to per-graph InferEnsemble32 (the
+// float32 kernels are row-independent too), so the documented 1e-4
+// relative drift bound against the float64 path carries over unchanged.
+func (sm *StackedModel) InferEnsembleBatch32(pg *PackedGraphs, s *BatchScratch, out []float64) error {
+	c, nOps := pg.c, pg.nOps
+	if len(out) != c*sm.k {
+		return fmt.Errorf("gnn: output buffer holds %d values, want %d candidates x %d members", len(out), c, sm.k)
+	}
+	if err := sm.checkBatch(pg); err != nil {
+		return err
+	}
+	if s == nil {
+		s = NewBatchScratch()
+	}
+	H := sm.cfg.Hidden
+	kH := sm.k * H
+	k2H := sm.k * 2 * H
+	hTot := pg.hostOff[c]
+
+	s.encOps32 = grow32(s.encOps32, nOps*kH)
+	for kind := range pg.opsByKind {
+		idxs := pg.opsByKind[kind]
+		if len(idxs) == 0 {
+			continue
+		}
+		enc := sm.enc[NodeKind(kind)]
+		in := enc.InDim()
+		s.gather32 = grow32(s.gather32, len(idxs)*in)
+		for r, idx := range idxs {
+			row := s.gather32[r*in : (r+1)*in]
+			for i, f := range pg.base.Nodes[idx].Feat {
+				row[i] = float32(f)
+			}
+		}
+		s.tmp32 = grow32(s.tmp32, len(idxs)*kH)
+		enc.ForwardShared32(s.tmp32, s.gather32, len(idxs), &s.dense)
+		for r, idx := range idxs {
+			copy(s.encOps32[idx*kH:(idx+1)*kH], s.tmp32[r*kH:(r+1)*kH])
+		}
+	}
+
+	if hTot > 0 {
+		enc := sm.enc[KindHost]
+		in := enc.InDim()
+		s.gather32 = grow32(s.gather32, hTot*in)
+		for slot, f := range pg.hostFeat[:hTot] {
+			row := s.gather32[slot*in : (slot+1)*in]
+			for i, x := range f {
+				row[i] = float32(x)
+			}
+		}
+		s.hostEnc32 = grow32(s.hostEnc32, hTot*kH)
+		enc.ForwardShared32(s.hostEnc32, s.gather32, hTot, &s.dense)
+
+		s.cat32 = grow32(s.cat32, hTot*k2H)
+		for slot := 0; slot < hTot; slot++ {
+			kids := pg.kids[pg.kidsOff[slot]:pg.kidsOff[slot+1]]
+			catRow32(s.cat32[slot*k2H:(slot+1)*k2H], kids, slot, sm.k, H, s.encOps32, s.hostEnc32)
+		}
+		s.hostNext32 = grow32(s.hostNext32, hTot*kH)
+		sm.upd[KindHost].ForwardBlocks32(s.hostNext32, s.cat32, hTot, &s.dense)
+	}
+
+	s.after232 = grow32(s.after232, c*nOps*kH)
+	for ci := 0; ci < c; ci++ {
+		copy(s.after232[ci*nOps*kH:(ci+1)*nOps*kH], s.encOps32[:nOps*kH])
+	}
+	if hTot > 0 {
+		var kidBuf [1]int
+		for kind := range pg.opsByKind {
+			idxs := pg.opsByKind[kind]
+			if len(idxs) == 0 {
+				continue
+			}
+			rows := 0
+			for ci := 0; ci < c; ci++ {
+				for _, v := range idxs {
+					if pg.opHost[ci*nOps+v] >= 0 {
+						rows++
+					}
+				}
+			}
+			if rows == 0 {
+				continue
+			}
+			s.cat32 = grow32(s.cat32, rows*k2H)
+			r := 0
+			for ci := 0; ci < c; ci++ {
+				for _, v := range idxs {
+					slot := pg.opHost[ci*nOps+v]
+					if slot < 0 {
+						continue
+					}
+					kidBuf[0] = slot
+					catRow32(s.cat32[r*k2H:(r+1)*k2H], kidBuf[:], v, sm.k, H, s.hostNext32, s.encOps32)
+					r++
+				}
+			}
+			s.tmp32 = grow32(s.tmp32, rows*kH)
+			sm.upd[NodeKind(kind)].ForwardBlocks32(s.tmp32, s.cat32, rows, &s.dense)
+			r = 0
+			for ci := 0; ci < c; ci++ {
+				for _, v := range idxs {
+					if pg.opHost[ci*nOps+v] < 0 {
+						continue
+					}
+					copy(s.after232[(ci*nOps+v)*kH:(ci*nOps+v+1)*kH], s.tmp32[r*kH:(r+1)*kH])
+					r++
+				}
+			}
+		}
+	}
+
+	s.final32 = grow32(s.final32, c*nOps*kH)
+	copy(s.final32, s.after232[:c*nOps*kH])
+	s.cat32 = grow32(s.cat32, max(len(s.cat32), c*k2H))
+	s.tmp32 = grow32(s.tmp32, max(len(s.tmp32), c*kH))
+	for _, v := range pg.plan.order {
+		parents := pg.plan.ups[v]
+		if len(parents) == 0 {
+			continue
+		}
+		for ci := 0; ci < c; ci++ {
+			plane := ci * nOps * kH
+			catRow32(s.cat32[ci*k2H:(ci+1)*k2H], parents, v, sm.k, H,
+				s.final32[plane:plane+nOps*kH], s.after232[plane:plane+nOps*kH])
+		}
+		sm.upd[pg.base.Nodes[v].Kind].ForwardBlocks32(s.tmp32[:c*kH], s.cat32[:c*k2H], c, &s.dense)
+		for ci := 0; ci < c; ci++ {
+			copy(s.final32[(ci*nOps+v)*kH:(ci*nOps+v+1)*kH], s.tmp32[ci*kH:(ci+1)*kH])
+		}
+	}
+
+	s.agg32 = grow32(s.agg32, c*kH)
+	for ci := 0; ci < c; ci++ {
+		agg := s.agg32[ci*kH : (ci+1)*kH]
+		fin := s.final32[ci*nOps*kH : (ci+1)*nOps*kH]
+		copy(agg, fin[:kH])
+		for v := 1; v < nOps; v++ {
+			blk := fin[v*kH : (v+1)*kH]
+			for i, x := range blk {
+				agg[i] += x
+			}
+		}
+		for slot := pg.hostOff[ci]; slot < pg.hostOff[ci+1]; slot++ {
+			blk := s.hostNext32[slot*kH : (slot+1)*kH]
+			for i, x := range blk {
+				agg[i] += x
+			}
+		}
+	}
+	s.tmp32 = grow32(s.tmp32, max(len(s.tmp32), c*sm.k))
+	sm.out.ForwardBlocks32(s.tmp32[:c*sm.k], s.agg32[:c*kH], c, &s.dense)
+	for i := 0; i < c*sm.k; i++ {
+		out[i] = float64(s.tmp32[i])
+	}
+	return nil
+}
+
+// Hidden returns the stacked architecture's hidden width (used by tile
+// sizing heuristics to bound per-tile activation footprints).
+func (sm *StackedModel) Hidden() int { return sm.cfg.Hidden }

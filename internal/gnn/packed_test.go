@@ -1,0 +1,253 @@
+package gnn
+
+import (
+	"strings"
+	"testing"
+)
+
+// packBase returns an operator-only base graph (source -> filter -> sink)
+// whose feature slices and flow edges are shared by every candidate, the
+// way core.BatchFeaturizer builds candidate graphs.
+func packBase() *Graph {
+	return &Graph{
+		Nodes: []Node{
+			{Kind: KindSource, Feat: []float64{0.4, 0.5}},
+			{Kind: KindFilter, Feat: []float64{0.2, 0.9, 0.1}},
+			{Kind: KindSink, Feat: []float64{1}},
+		},
+		FlowEdges: [][2]int{{0, 1}, {1, 2}},
+	}
+}
+
+var packHostFeats = [][]float64{
+	{0.5, 0.5, 0.5, 0.5},
+	{1, 1, 1, 1},
+	{0.1, 0.8, 0.3, 0.6},
+}
+
+// packCandidates derives one candidate graph per placement, mirroring
+// core's attachHosts: node header copies sharing the base feature slices,
+// host nodes appended in first-use order, placement edges in operator
+// order.
+func packCandidates(base *Graph, placements [][]int) []*Graph {
+	out := make([]*Graph, len(placements))
+	for ci, p := range placements {
+		nodes := make([]Node, len(base.Nodes), len(base.Nodes)+len(p))
+		copy(nodes, base.Nodes)
+		g := &Graph{Nodes: nodes, FlowEdges: base.FlowEdges}
+		hostNode := map[int]int{}
+		for opIdx, h := range p {
+			node, ok := hostNode[h]
+			if !ok {
+				node = len(g.Nodes)
+				hostNode[h] = node
+				g.Nodes = append(g.Nodes, Node{Kind: KindHost, Feat: packHostFeats[h]})
+			}
+			g.PlaceEdges = append(g.PlaceEdges, [2]int{opIdx, node})
+		}
+		out[ci] = g
+	}
+	return out
+}
+
+// packPlacements covers the structural variety of one search round:
+// co-located, spread, and partially shared hosts.
+var packPlacements = [][]int{
+	{0, 0, 0},
+	{0, 1, 2},
+	{2, 2, 1},
+	{1, 0, 1},
+	{2, 0, 0},
+}
+
+// TestInferEnsembleBatchMatchesInferEnsemble pins the packed multi-graph
+// pass to the per-graph stacked pass, bit for bit, for every candidate
+// and member — at the full tile size and for every sub-tiling, so the
+// result is provably independent of how a round is split into tiles.
+func TestInferEnsembleBatchMatchesInferEnsemble(t *testing.T) {
+	models := newTestEnsemble(t, 3)
+	sm, err := Stack(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := packBase()
+	plan, err := NewPlan(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := packCandidates(base, packPlacements)
+
+	want := make([]float64, len(graphs)*sm.K())
+	ss := NewStackedScratch()
+	for ci, g := range graphs {
+		if err := sm.InferEnsemble(g, plan, ss, want[ci*sm.K():(ci+1)*sm.K()]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bs := NewBatchScratch()
+	var pg *PackedGraphs
+	for _, tile := range []int{1, 2, 3, len(graphs)} {
+		for lo := 0; lo < len(graphs); lo += tile {
+			hi := min(lo+tile, len(graphs))
+			pg, err = PackGraphs(graphs[lo:hi], plan, pg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]float64, (hi-lo)*sm.K())
+			if err := sm.InferEnsembleBatch(pg, bs, got); err != nil {
+				t.Fatal(err)
+			}
+			for ci := lo; ci < hi; ci++ {
+				for m := 0; m < sm.K(); m++ {
+					g, w := got[(ci-lo)*sm.K()+m], want[ci*sm.K()+m]
+					if g != w {
+						t.Fatalf("tile=%d candidate %d member %d: batch=%v per-graph=%v", tile, ci, m, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInferEnsembleBatch32MatchesInferEnsemble32 pins the float32 packed
+// pass to the per-graph float32 pass bit for bit: the fast path's drift
+// bound against float64 therefore carries over unchanged to fused tiles.
+func TestInferEnsembleBatch32MatchesInferEnsemble32(t *testing.T) {
+	models := newTestEnsemble(t, 3)
+	sm, err := Stack(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := packBase()
+	plan, err := NewPlan(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := packCandidates(base, packPlacements)
+
+	want := make([]float64, len(graphs)*sm.K())
+	ss := NewStackedScratch()
+	for ci, g := range graphs {
+		if err := sm.InferEnsemble32(g, plan, ss, want[ci*sm.K():(ci+1)*sm.K()]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pg, err := PackGraphs(graphs, plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, len(graphs)*sm.K())
+	if err := sm.InferEnsembleBatch32(pg, nil, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("output %d: batch32=%v per-graph32=%v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestInferEnsembleBatchNoHosts covers the query-only shape: candidates
+// without host nodes pack and score as C copies of the shared base.
+func TestInferEnsembleBatchNoHosts(t *testing.T) {
+	models := newTestEnsemble(t, 2)
+	sm, err := Stack(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := packBase()
+	plan, err := NewPlan(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := []*Graph{base, base, base}
+	pg, err := PackGraphs(graphs, plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, len(graphs)*sm.K())
+	if err := sm.InferEnsembleBatch(pg, nil, got); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, sm.K())
+	if err := sm.InferEnsemble(base, plan, nil, want); err != nil {
+		t.Fatal(err)
+	}
+	for ci := range graphs {
+		for m := 0; m < sm.K(); m++ {
+			if got[ci*sm.K()+m] != want[m] {
+				t.Fatalf("candidate %d member %d: %v != %v", ci, m, got[ci*sm.K()+m], want[m])
+			}
+		}
+	}
+}
+
+// TestPackGraphsRejectsForeignGraphs checks the structural-sharing guard:
+// graphs that merely equal the base by value (copied features) or break
+// the op/host split are rejected, so mis-batched inference cannot happen
+// silently.
+func TestPackGraphsRejectsForeignGraphs(t *testing.T) {
+	base := packBase()
+	plan, err := NewPlan(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := packCandidates(base, packPlacements[:2])
+
+	// A value-equal copy of an operator feature vector is not sharing.
+	copied := packCandidates(base, packPlacements[2:3])[0]
+	copied.Nodes[1].Feat = append([]float64(nil), copied.Nodes[1].Feat...)
+	if _, err := PackGraphs([]*Graph{graphs[0], copied}, plan, nil); err == nil ||
+		!strings.Contains(err.Error(), "share") {
+		t.Fatalf("copied-feature graph packed without error (err=%v)", err)
+	}
+
+	// An operator node appended after the host section breaks the split.
+	bad := packCandidates(base, packPlacements[:1])[0]
+	bad.Nodes = append(bad.Nodes, Node{Kind: KindFilter, Feat: []float64{1, 2, 3}})
+	if _, err := PackGraphs([]*Graph{bad}, plan, nil); err == nil {
+		t.Fatal("op-after-host graph packed without error")
+	}
+
+	if _, err := PackGraphs(nil, plan, nil); err == nil {
+		t.Fatal("empty pack accepted")
+	}
+}
+
+// TestInferEnsembleBatchAllocs pins the steady-state packed pass (reused
+// PackedGraphs and BatchScratch) to zero allocations.
+func TestInferEnsembleBatchAllocs(t *testing.T) {
+	models := newTestEnsemble(t, 3)
+	sm, err := Stack(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := packBase()
+	plan, err := NewPlan(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := packCandidates(base, packPlacements)
+	var pg *PackedGraphs
+	bs := NewBatchScratch()
+	out := make([]float64, len(graphs)*sm.K())
+	if pg, err = PackGraphs(graphs, plan, pg); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.InferEnsembleBatch(pg, bs, out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		var err error
+		if pg, err = PackGraphs(graphs, plan, pg); err != nil {
+			t.Fatal(err)
+		}
+		if err := sm.InferEnsembleBatch(pg, bs, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state pack+batch pass allocates %.1f times per run, want 0", allocs)
+	}
+}

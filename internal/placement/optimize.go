@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"costream/internal/hardware"
 	"costream/internal/sim"
@@ -39,6 +40,31 @@ type Predictor interface {
 type BatchPredictor interface {
 	Predictor
 	PredictBatch(q *stream.Query, c *hardware.Cluster, candidates []sim.Placement) ([]PredCosts, error)
+}
+
+// TileScorer scores tiles of candidates for one fixed (query, cluster)
+// pair. NewScoreSession hoists the placement-invariant work (featurizing
+// the query graph and per-host features, snapshotting the ensemble weight
+// stacks) out of the round; ScoreTile then scores a contiguous tile of
+// candidates through the packed cross-candidate kernels, writing one
+// PredCosts per candidate into out (len(out) == len(cands)). Results
+// must be identical to per-candidate PredictPlacement calls and must not
+// depend on how a round is split into tiles. ScoreTile is called
+// concurrently from multiple workers; implementations keep per-call
+// state in private scratch. TileSize is the implementation's preferred
+// tile width (cache-footprint bound); callers may use any width.
+type TileScorer interface {
+	TileSize() int
+	ScoreTile(cands []sim.Placement, out []PredCosts) error
+}
+
+// SessionPredictor is a Predictor that can open a reusable per-round
+// scoring session. Optimize detects this interface and routes candidate
+// tiles through it, falling back to the chunked BatchPredictor path when
+// the session cannot be built (malformed query, incompatible ensembles).
+type SessionPredictor interface {
+	Predictor
+	NewScoreSession(q *stream.Query, c *hardware.Cluster) (TileScorer, error)
 }
 
 // InferencePathStats counts which inference path served a predictor's
@@ -154,14 +180,22 @@ func Optimize(pred Predictor, q *stream.Query, c *hardware.Cluster, candidates [
 }
 
 // scoreCandidates scores every candidate with the predictor through a
-// bounded pool of workers. Candidates are partitioned into contiguous
-// chunks; a predictor implementing BatchPredictor receives whole chunks so
-// it can featurize the shared query/cluster state once per chunk. Results
-// are merged into slices indexed by candidate, so the output is identical
-// for every worker count. A failing PredictBatch chunk falls back to
-// per-candidate scoring to isolate the failing candidates. A cancelled
-// ctx (nil means background) stops each worker at its next candidate
-// boundary; unscored candidates carry ctx.Err().
+// bounded pool of workers, merging results into slices indexed by
+// candidate so the output is identical for every worker count.
+//
+// A SessionPredictor scores through a shared per-round session: workers
+// claim fixed-boundary candidate tiles (the session's preferred width)
+// from an atomic counter, so a fast worker takes more tiles instead of
+// idling behind a static partition, and each tile runs one packed
+// cross-candidate kernel pass. A failing tile falls back to
+// per-candidate scoring to isolate the failing candidates.
+//
+// Other predictors are partitioned into contiguous chunks; a
+// BatchPredictor receives whole chunks so it can featurize the shared
+// query/cluster state once per chunk, with the same per-candidate
+// fallback on chunk failure. A cancelled ctx (nil means background)
+// stops each worker at its next tile or candidate boundary; unscored
+// candidates carry ctx.Err().
 func scoreCandidates(ctx context.Context, pred Predictor, q *stream.Query, c *hardware.Cluster, candidates []sim.Placement, opts Options) ([]PredCosts, []error) {
 	n := len(candidates)
 	costs := make([]PredCosts, n)
@@ -174,6 +208,15 @@ func scoreCandidates(ctx context.Context, pred Predictor, q *stream.Query, c *ha
 			return nil
 		}
 		return ctx.Err()
+	}
+	if sp, ok := pred.(SessionPredictor); ok {
+		if sess, err := sp.NewScoreSession(q, c); err == nil {
+			scoreTiled(ctx, sess, pred, q, c, candidates, costs, errs, opts)
+			return costs, errs
+		}
+		// The session could not be built (malformed query, cluster
+		// mismatch): the chunked path below reproduces the per-candidate
+		// errors the caller expects.
 	}
 	scoreChunk := func(lo, hi int) {
 		if err := cancelled(); err != nil {
@@ -217,6 +260,74 @@ func scoreCandidates(ctx context.Context, pred Predictor, q *stream.Query, c *ha
 		wg.Wait()
 	}
 	return costs, errs
+}
+
+// scoreTiled drives one scoring session: the candidate list is cut into
+// fixed-boundary tiles of the session's preferred width, and workers
+// claim tiles from a shared atomic counter. Tile boundaries depend only
+// on the candidate count and tile width — never on worker scheduling —
+// and ScoreTile results must not depend on tiling, so the merged output
+// is identical for every worker count. A failing tile is re-scored per
+// candidate with PredictPlacement to isolate the failure; a cancelled
+// ctx stops claiming and marks unscored candidates with ctx.Err().
+func scoreTiled(ctx context.Context, sess TileScorer, pred Predictor, q *stream.Query, c *hardware.Cluster, candidates []sim.Placement, costs []PredCosts, errs []error, opts Options) {
+	n := len(candidates)
+	tile := sess.TileSize()
+	if tile < 1 {
+		tile = 1
+	}
+	nTiles := (n + tile - 1) / tile
+	cancelled := func() error {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
+	scoreTile := func(t int) {
+		lo := t * tile
+		hi := min(lo+tile, n)
+		if err := cancelled(); err != nil {
+			for i := lo; i < hi; i++ {
+				errs[i] = err
+			}
+			return
+		}
+		if err := sess.ScoreTile(candidates[lo:hi], costs[lo:hi]); err == nil {
+			return
+		}
+		// The tile failed as a whole; reset any partial results and score
+		// per candidate to isolate the failing ones.
+		for i := lo; i < hi; i++ {
+			costs[i] = PredCosts{}
+			if err := cancelled(); err != nil {
+				errs[i] = err
+				continue
+			}
+			costs[i], errs[i] = pred.PredictPlacement(q, c, candidates[i])
+		}
+	}
+	if workers := opts.workers(nTiles); workers == 1 {
+		for t := 0; t < nTiles; t++ {
+			scoreTile(t)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					t := int(next.Add(1)) - 1
+					if t >= nTiles {
+						return
+					}
+					scoreTile(t)
+				}
+			}()
+		}
+		wg.Wait()
+	}
 }
 
 // objectiveScore maps predicted costs onto the objective's scalar score;

@@ -1,0 +1,161 @@
+package placement
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"costream/internal/hardware"
+	"costream/internal/sim"
+	"costream/internal/stream"
+)
+
+// tileFake is a SessionPredictor whose session scores tiles from a
+// deterministic cost function, poisons whole tiles containing a marked
+// candidate, and counts ScoreTile calls — enough to exercise the tiled
+// scoring engine without real ensembles.
+type tileFake struct {
+	tile      int
+	poison    int // candidate host value that fails the tile / the candidate
+	tileCalls atomic.Int64
+	predCalls atomic.Int64
+}
+
+func fakeCosts(p sim.Placement) PredCosts {
+	cost := 0.0
+	for _, h := range p {
+		cost += float64(h + 1)
+	}
+	return PredCosts{ProcLatencyMS: cost, E2ELatencyMS: 2 * cost, ThroughputTPS: 1000 - cost, Success: true}
+}
+
+func (f *tileFake) PredictPlacement(q *stream.Query, c *hardware.Cluster, p sim.Placement) (PredCosts, error) {
+	f.predCalls.Add(1)
+	if len(p) > 0 && p[0] == f.poison {
+		return PredCosts{}, fmt.Errorf("poisoned candidate")
+	}
+	return fakeCosts(p), nil
+}
+
+type tileFakeSession struct{ f *tileFake }
+
+func (s *tileFakeSession) TileSize() int { return s.f.tile }
+
+func (s *tileFakeSession) ScoreTile(cands []sim.Placement, out []PredCosts) error {
+	s.f.tileCalls.Add(1)
+	for i, p := range cands {
+		if len(p) > 0 && p[0] == s.f.poison {
+			return fmt.Errorf("poisoned tile")
+		}
+		out[i] = fakeCosts(p)
+	}
+	return nil
+}
+
+func (f *tileFake) NewScoreSession(q *stream.Query, c *hardware.Cluster) (TileScorer, error) {
+	return &tileFakeSession{f: f}, nil
+}
+
+func tiledCandidates(n int) []sim.Placement {
+	cands := make([]sim.Placement, n)
+	for i := range cands {
+		cands[i] = sim.Placement{i % 5, (i * 3) % 5}
+	}
+	return cands
+}
+
+// TestScoreTiledDeterministicAcrossWorkers: tile boundaries are fixed by
+// the candidate count and tile width, and workers only claim tiles — so
+// the merged costs are identical for every worker count.
+func TestScoreTiledDeterministicAcrossWorkers(t *testing.T) {
+	cands := tiledCandidates(53)
+	var want []PredCosts
+	for _, workers := range []int{1, 2, 3, 8, 16} {
+		f := &tileFake{tile: 7, poison: -1}
+		costs, errs := scoreCandidates(context.Background(), f, nil, nil, cands, Options{Workers: workers})
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("workers=%d candidate %d: %v", workers, i, err)
+			}
+		}
+		if f.predCalls.Load() != 0 {
+			t.Fatalf("workers=%d: %d per-candidate calls on the clean tiled path", workers, f.predCalls.Load())
+		}
+		if got, min := f.tileCalls.Load(), int64((len(cands)+6)/7); got != min {
+			t.Fatalf("workers=%d: %d tiles scored, want %d", workers, got, min)
+		}
+		if want == nil {
+			want = costs
+			continue
+		}
+		for i := range cands {
+			if costs[i] != want[i] {
+				t.Fatalf("workers=%d candidate %d: %+v != %+v", workers, i, costs[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScoreTiledFallbackIsolatesFailure: a failing tile is re-scored per
+// candidate, so only the poisoned candidate errors and its tile-mates
+// keep their exact scores.
+func TestScoreTiledFallbackIsolatesFailure(t *testing.T) {
+	cands := tiledCandidates(20)
+	f := &tileFake{tile: 8, poison: 2}
+	costs, errs := scoreCandidates(context.Background(), f, nil, nil, cands, Options{Workers: 3})
+	for i, p := range cands {
+		if p[0] == f.poison {
+			if errs[i] == nil {
+				t.Fatalf("poisoned candidate %d scored without error", i)
+			}
+			if costs[i] != (PredCosts{}) {
+				t.Fatalf("poisoned candidate %d kept partial costs %+v", i, costs[i])
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("candidate %d: %v", i, errs[i])
+		}
+		if costs[i] != fakeCosts(p) {
+			t.Fatalf("candidate %d: %+v != %+v", i, costs[i], fakeCosts(p))
+		}
+	}
+	if f.predCalls.Load() == 0 {
+		t.Fatal("no per-candidate fallback calls for the failing tiles")
+	}
+}
+
+// TestScoreTiledCancelled: a pre-cancelled context marks every candidate
+// with ctx.Err() without calling the session.
+func TestScoreTiledCancelled(t *testing.T) {
+	cands := tiledCandidates(15)
+	f := &tileFake{tile: 4, poison: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, errs := scoreCandidates(ctx, f, nil, nil, cands, Options{Workers: 4})
+	for i, err := range errs {
+		if err != context.Canceled {
+			t.Fatalf("candidate %d: err=%v, want context.Canceled", i, err)
+		}
+	}
+	if f.tileCalls.Load() != 0 {
+		t.Fatalf("%d tiles scored under a cancelled context", f.tileCalls.Load())
+	}
+}
+
+// TestScoreTiledDegenerateTileSize: a session reporting a nonsensical
+// tile width still scores every candidate (width clamps to 1).
+func TestScoreTiledDegenerateTileSize(t *testing.T) {
+	cands := tiledCandidates(5)
+	f := &tileFake{tile: 0, poison: -1}
+	costs, errs := scoreCandidates(context.Background(), f, nil, nil, cands, Options{Workers: 2})
+	for i, p := range cands {
+		if errs[i] != nil {
+			t.Fatalf("candidate %d: %v", i, errs[i])
+		}
+		if costs[i] != fakeCosts(p) {
+			t.Fatalf("candidate %d: %+v != %+v", i, costs[i], fakeCosts(p))
+		}
+	}
+}
