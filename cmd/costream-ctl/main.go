@@ -1,0 +1,239 @@
+// Command costream-ctl is the operator CLI for the placement control
+// plane exposed by a running costream-serve: deploy queries for
+// continuous placement control, inspect their status and decision
+// history, and manage host cordon/drain state.
+//
+//	costream-ctl -addr http://127.0.0.1:8080 deploy -id q1 -f request.json
+//	costream-ctl status                # list deployments
+//	costream-ctl status q1             # one deployment, with history
+//	costream-ctl status -hosts q1      # placement host IDs, one per line
+//	costream-ctl cordon edge-a/host-001
+//	costream-ctl drain edge-a/host-001
+//	costream-ctl uncordon edge-a/host-001
+//	costream-ctl tick                  # run one control tick now
+//	costream-ctl hosts                 # aggregated host state
+//	costream-ctl evict q1
+//
+// The deploy request file uses the /v1/predict JSON shape (query,
+// cluster, optional placement), so `curl $ADDR/v1/example` output
+// deploys directly. Host names may contain "/" (zone-qualified fleet
+// IDs), which is why they are passed to the API in a JSON body rather
+// than a URL path.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"costream/internal/controlplane"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: costream-ctl [-addr URL] <verb> [args]
+
+verbs:
+  deploy -f request.json [-id name]   register a query (request: /v1/predict shape)
+  status [-hosts] [id]                list deployments, or one deployment's status
+  evict <id>                          remove a deployment
+  cordon <host>                       mark a host unschedulable
+  uncordon <host>                     make a host schedulable again
+  drain <host>                        cordon + immediately re-place affected queries
+  hosts                               aggregated host state
+  tick                                run one control tick now
+`)
+	os.Exit(2)
+}
+
+type client struct {
+	addr string
+	hc   *http.Client
+}
+
+func (c *client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.addr+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(data)))
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// printJSON renders API responses for humans and scripts alike.
+func printJSON(v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("costream-ctl: ")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of a running costream-serve")
+	timeout := flag.Duration("timeout", 2*time.Minute, "request timeout (placement searches can take a while)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+	}
+	c := &client{addr: strings.TrimRight(*addr, "/"), hc: &http.Client{Timeout: *timeout}}
+	verb, args := flag.Arg(0), flag.Args()[1:]
+	switch verb {
+	case "deploy":
+		cmdDeploy(c, args)
+	case "status":
+		cmdStatus(c, args)
+	case "evict":
+		cmdEvict(c, args)
+	case "cordon":
+		cmdHost(c, "cordon", args)
+	case "uncordon":
+		cmdHost(c, "uncordon", args)
+	case "drain":
+		cmdHost(c, "drain", args)
+	case "hosts":
+		cmdHosts(c)
+	case "tick":
+		cmdTick(c)
+	default:
+		log.Printf("unknown verb %q", verb)
+		usage()
+	}
+}
+
+func cmdDeploy(c *client, args []string) {
+	fs := flag.NewFlagSet("deploy", flag.ExitOnError)
+	file := fs.String("f", "", "request JSON file (query/cluster/optional placement); - for stdin")
+	id := fs.String("id", "", "deployment id (server generates one when empty)")
+	fs.Parse(args)
+	if *file == "" {
+		log.Fatal("deploy: -f request.json is required")
+	}
+	var data []byte
+	var err error
+	if *file == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*file)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	var req map[string]any
+	if err := json.Unmarshal(data, &req); err != nil {
+		log.Fatalf("deploy: parsing %s: %v", *file, err)
+	}
+	if *id != "" {
+		req["id"] = *id
+	}
+	var st controlplane.Status
+	if err := c.do(http.MethodPost, "/v1/deployments", req, &st); err != nil {
+		log.Fatal(err)
+	}
+	printJSON(st)
+}
+
+func cmdStatus(c *client, args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	hostsOnly := fs.Bool("hosts", false, "print only the placement's host IDs, one per line")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		var out struct {
+			Deployments []controlplane.Status `json:"deployments"`
+		}
+		if err := c.do(http.MethodGet, "/v1/deployments", nil, &out); err != nil {
+			log.Fatal(err)
+		}
+		printJSON(out.Deployments)
+		return
+	}
+	var st controlplane.Status
+	if err := c.do(http.MethodGet, "/v1/deployments/"+fs.Arg(0), nil, &st); err != nil {
+		log.Fatal(err)
+	}
+	if *hostsOnly {
+		seen := map[string]bool{}
+		for _, h := range st.Hosts {
+			if h != "" && !seen[h] {
+				seen[h] = true
+				fmt.Println(h)
+			}
+		}
+		return
+	}
+	printJSON(st)
+}
+
+func cmdEvict(c *client, args []string) {
+	if len(args) != 1 {
+		log.Fatal("evict: exactly one deployment id required")
+	}
+	var out map[string]any
+	if err := c.do(http.MethodDelete, "/v1/deployments/"+args[0], nil, &out); err != nil {
+		log.Fatal(err)
+	}
+	printJSON(out)
+}
+
+func cmdHost(c *client, action string, args []string) {
+	if len(args) != 1 {
+		log.Fatalf("%s: exactly one host required", action)
+	}
+	var out map[string]any
+	if err := c.do(http.MethodPost, "/v1/hosts/"+action, map[string]string{"host": args[0]}, &out); err != nil {
+		log.Fatal(err)
+	}
+	printJSON(out)
+}
+
+func cmdHosts(c *client) {
+	var out struct {
+		Hosts []controlplane.HostStatus `json:"hosts"`
+	}
+	if err := c.do(http.MethodGet, "/v1/hosts", nil, &out); err != nil {
+		log.Fatal(err)
+	}
+	printJSON(out.Hosts)
+}
+
+func cmdTick(c *client) {
+	var rep controlplane.TickReport
+	if err := c.do(http.MethodPost, "/v1/control/tick", nil, &rep); err != nil {
+		log.Fatal(err)
+	}
+	printJSON(rep)
+}

@@ -51,6 +51,7 @@ func main() {
 		pprofAddr   = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty disables; keep it private)")
 		fast32      = flag.Bool("fast32", false, "run stacked ensemble inference in float32 (faster, ~1e-4 relative drift)")
 		traceLog    = flag.Bool("trace-log", false, "log one structured trace record per instrumented request (debug level)")
+		ctrlTick    = flag.Duration("control-interval", 15*time.Second, "placement control-loop tick interval (0 disables the loop; /v1/control/tick still works)")
 	)
 	flag.Parse()
 
@@ -103,6 +104,12 @@ func main() {
 		IdleTimeout:       *idleTO,
 	}
 
+	var loop *serve.ControlLoop
+	if *ctrlTick > 0 {
+		loop = serve.StartControlLoop(srv.ControlPlane(), *ctrlTick, log.Printf)
+		log.Printf("control loop ticking every %v", *ctrlTick)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -119,6 +126,15 @@ func main() {
 	log.Printf("shutting down (draining up to %v)...", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	// Stop the control loop before closing the listener: the ticker
+	// halts, the in-flight tick's searches are cancelled and any
+	// migration they still decided lands fully, so no client can observe
+	// (and no shutdown can persist) torn registry state.
+	if loop != nil {
+		if err := loop.Stop(shutdownCtx); err != nil {
+			log.Printf("control loop stop: %v", err)
+		}
+	}
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Fatal(err)
 	}

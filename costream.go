@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"costream/internal/artifact"
+	"costream/internal/controlplane"
 	"costream/internal/core"
 	"costream/internal/dataset"
 	"costream/internal/fleet"
@@ -200,6 +201,43 @@ func RunFleetScenario(ctx context.Context, sc *FleetScenario, opts FleetRunOptio
 // Predictor exposes the trained model as a placement cost predictor for
 // FleetRunOptions.Predictor and other search entry points.
 func (m *Model) Predictor() CostPredictor { return m.pred }
+
+// Re-exported placement control plane (internal/controlplane, served by
+// costream-serve as /v1/deployments and driven by costream-ctl): a
+// registry of deployed queries healed by a periodic
+// monitor -> detect -> re-optimize -> migrate tick, with host
+// cordon/drain states every search strategy respects.
+type (
+	// ControlPlane is the deployment registry plus control-tick engine.
+	ControlPlane = controlplane.Plane
+	// ControlPlaneConfig configures NewControlPlane.
+	ControlPlaneConfig = controlplane.Config
+	// ControlPolicy is the control plane's decision kernel (thresholds,
+	// hysteresis, search strategy and budget).
+	ControlPolicy = controlplane.Policy
+	// DeploymentStatus is one deployment's externally visible state,
+	// including its bounded decision history.
+	DeploymentStatus = controlplane.Status
+)
+
+// NewControlPlane builds a placement control plane;
+// cfg.Policy.Predictor is required (use Model.Predictor()).
+func NewControlPlane(cfg ControlPlaneConfig) (*ControlPlane, error) { return controlplane.New(cfg) }
+
+// NewControlPlane builds a control plane over this model with the
+// default policy (q-error drift threshold 2, warm-started local search,
+// simulated metric feed).
+func (m *Model) NewControlPlane() (*ControlPlane, error) {
+	return controlplane.New(controlplane.Config{Policy: controlplane.Policy{Predictor: m.pred}})
+}
+
+// Deploy registers query q on cluster c with the control plane under
+// id, runs the initial placement search (respecting any cordoned
+// hosts) and returns the activated deployment's status. Subsequent
+// ControlPlane.Tick calls keep the placement healthy.
+func Deploy(ctx context.Context, cp *ControlPlane, id string, q *Query, c *Cluster) (DeploymentStatus, error) {
+	return cp.Deploy(ctx, id, q, c, nil)
+}
 
 // NewQueryBuilder returns an empty query builder.
 func NewQueryBuilder() *QueryBuilder { return stream.NewBuilder() }

@@ -1,0 +1,367 @@
+// Package controlplane is the placement control plane: the
+// monitor -> detect -> re-optimize -> migrate loop that keeps operator
+// placements good as edge-cloud conditions shift (the dynamic half of
+// the COSTREAM workflow; the zero-shot cost model makes continuous
+// re-scoring cheap enough to run it in a loop).
+//
+// The package splits into two layers:
+//
+//   - Policy is the pure decision kernel: given one Deployment and a
+//     cluster View it observes live metrics through a MetricFeed,
+//     classifies violations (drift via placement.RecordQErrors q-error
+//     divergence, dead or cordoned hosts, observed failures), re-optimizes
+//     with the search engine warm-started from the incumbent
+//     (placement.WarmStart) and gates migrations through
+//     placement.Hysteresis. Cordoned hosts are banned at the
+//     candidate-generation substrate (SearchOptions.BannedHosts), so
+//     every search strategy respects them.
+//   - Plane is the long-running registry around that kernel: deployment
+//     CRUD, host cordon/drain/uncordon state, periodic control ticks and
+//     bounded per-deployment history. costream-serve exposes it as
+//     /v1/deployments and /v1/hosts; costream-ctl speaks to that API.
+//
+// internal/fleet drives the same Policy from its scenario scripts, so
+// the fleet simulator and the serving path heal with identical logic.
+package controlplane
+
+import (
+	"context"
+	"fmt"
+
+	"costream/internal/hardware"
+	"costream/internal/placement"
+	"costream/internal/sim"
+	"costream/internal/stream"
+)
+
+// Policy defaults, matching the fleet scenario recovery defaults.
+const (
+	DefaultQErrorThreshold = 2.0
+	DefaultSearchBudget    = 32
+)
+
+// Violation kinds reported by Policy.Heal (Decision.Violation) and
+// counted by the costream_controlplane_violations_total{kind} family.
+const (
+	ViolationUndeployed      = "undeployed"
+	ViolationDeadHost        = "dead-host"
+	ViolationCordonedHost    = "cordoned-host"
+	ViolationObservedFailure = "observed-failure"
+	ViolationQErrorDrift     = "qerror-drift"
+)
+
+// Actions reported by Policy decisions. Suppressed decisions carry a
+// "suppressed: <reason>" action instead.
+const (
+	ActionDeployed   = "deployed"
+	ActionMigrated   = "migrated"
+	ActionReplaced   = "replaced"
+	ActionRedeployed = "redeployed"
+	ActionUndeployed = "undeployed"
+
+	suppressedPrefix = "suppressed: "
+)
+
+// DeriveSeed spreads a base seed over (stage, index) pairs; stage 0 is
+// the deploy step, stage k the k-th control tick or script event, so
+// every search and observation draws from its own deterministic stream.
+func DeriveSeed(base int64, stage, i int) int64 {
+	return base*1_000_003 + int64(stage)*8191 + int64(i) + 1
+}
+
+// MetricFeed supplies the live runtime statistics one control decision
+// observes for an incumbent placement. The production feed is SimFeed
+// (the execution simulator standing in for a real cluster); tests plug
+// in fakes.
+type MetricFeed interface {
+	Observe(q *stream.Query, c *hardware.Cluster, p sim.Placement) (*sim.Metrics, error)
+}
+
+// SimFeed observes placements by running the execution simulator.
+type SimFeed struct {
+	Cfg sim.Config
+}
+
+// Observe implements MetricFeed.
+func (f SimFeed) Observe(q *stream.Query, c *hardware.Cluster, p sim.Placement) (*sim.Metrics, error) {
+	return sim.Run(q, c, p, f.Cfg)
+}
+
+// View is the cluster one control decision runs against plus the host
+// indices cordoned against candidate generation. Cordoned hosts are
+// both a violation trigger (an incumbent touching one is force-replaced)
+// and a search constraint (no challenger may use one).
+type View struct {
+	Cluster *hardware.Cluster
+	Banned  []int
+}
+
+// schedulable returns how many hosts remain available for placement.
+func (v View) schedulable() int {
+	n := len(v.Cluster.Hosts)
+	seen := make(map[int]bool, len(v.Banned))
+	for _, h := range v.Banned {
+		if h >= 0 && h < n && !seen[h] {
+			seen[h] = true
+		}
+	}
+	return n - len(seen)
+}
+
+// Deployment is one query's live control-plane state. Placement is in
+// View.Cluster host indices; entries < 0 mark hosts that no longer
+// exist (dead).
+type Deployment struct {
+	ID        string
+	Query     *stream.Query
+	Placement sim.Placement
+	Predicted placement.PredCosts
+	LastMoveS float64
+	Deployed  bool
+}
+
+// Decision is the outcome of one Policy.Heal pass over one deployment.
+type Decision struct {
+	// Violation classifies why the loop engaged ("" when healthy):
+	// ViolationUndeployed, ViolationDeadHost, ViolationCordonedHost,
+	// ViolationObservedFailure or ViolationQErrorDrift.
+	Violation string
+	// Action is what the loop did ("" when healthy): ActionMigrated,
+	// ActionReplaced, ActionRedeployed, ActionUndeployed or
+	// "suppressed: <reason>".
+	Action string
+	// Observed reports that a metric-feed observation ran; the q-error
+	// and latency fields below are only meaningful when set.
+	Observed bool
+	// QErrThroughput/QErrProcLatency are the observed-vs-predicted
+	// q-errors of this pass (each >= 1).
+	QErrThroughput  float64
+	QErrProcLatency float64
+	// PredLatencyMS is the processing latency predicted when the
+	// incumbent was activated (captured before any re-basing);
+	// ObsLatencyMS the latency observed this pass.
+	PredLatencyMS float64
+	ObsLatencyMS  float64
+}
+
+// Suppressed reports that the pass detected a violation but hysteresis
+// (or an unchanged search result) kept the incumbent.
+func (d Decision) Suppressed() bool {
+	return len(d.Action) >= len(suppressedPrefix) && d.Action[:len(suppressedPrefix)] == suppressedPrefix
+}
+
+// Moved reports that the pass activated a new placement.
+func (d Decision) Moved() bool {
+	switch d.Action {
+	case ActionMigrated, ActionReplaced, ActionRedeployed:
+		return true
+	}
+	return false
+}
+
+// Policy is the control plane's decision kernel: how to observe, when a
+// deployment counts as violated, and how re-optimization and migration
+// gating work. The zero value is unusable; Predictor is required, the
+// other fields default via withDefaults.
+type Policy struct {
+	// Predictor scores placements during search, drift checks and
+	// incumbent re-scoring.
+	Predictor placement.Predictor
+	// QErrorThreshold is the q-error above which an observation counts
+	// as drift (0 selects DefaultQErrorThreshold).
+	QErrorThreshold float64
+	// Hysteresis gates drift migrations. The zero value accepts any
+	// strict improvement with no cooldown.
+	Hysteresis placement.Hysteresis
+	// Budget bounds each re-optimization search (unset selects
+	// DefaultSearchBudget candidates).
+	Budget placement.Budget
+	// Strategy is the inner search strategy; re-optimizations wrap it in
+	// placement.WarmStart seeded with the incumbent. Nil selects
+	// LocalSearch.
+	Strategy placement.Strategy
+	// Objective ranks placements (zero value: min processing latency).
+	Objective placement.Objective
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.QErrorThreshold == 0 {
+		p.QErrorThreshold = DefaultQErrorThreshold
+	}
+	if p.Budget.MaxCandidates <= 0 {
+		p.Budget.MaxCandidates = DefaultSearchBudget
+	}
+	if p.Strategy == nil {
+		p.Strategy = placement.LocalSearch{}
+	}
+	return p
+}
+
+// Deploy runs the initial placement search for d on the view (fresh
+// search, no warm start — there is no incumbent) and activates the
+// result. On error the deployment is left untouched.
+func (p Policy) Deploy(ctx context.Context, d *Deployment, v View, opts placement.SearchOptions) error {
+	p = p.withDefaults()
+	opts.BannedHosts = v.Banned
+	res, err := placement.SearchCtx(ctx, p.Predictor, d.Query, v.Cluster, p.Strategy, p.Objective, p.Budget, opts)
+	if err != nil {
+		return err
+	}
+	d.Placement = append(sim.Placement(nil), res.Placement...)
+	d.Predicted = res.Costs
+	d.Deployed = true
+	return nil
+}
+
+// Heal runs one monitor -> detect -> re-optimize -> migrate pass over d
+// at control clock nowS. effQ is the query under current load (nil uses
+// d.Query); observations run against it so drift reflects live
+// conditions. The deployment is mutated in place only when the pass
+// reaches a decision: a cancelled re-optimization that scored nothing
+// returns ctx.Err() with d untouched, so callers never see torn state.
+func (p Policy) Heal(ctx context.Context, d *Deployment, v View, effQ *stream.Query, feed MetricFeed, nowS float64, opts placement.SearchOptions) (Decision, error) {
+	p = p.withDefaults()
+	if effQ == nil {
+		effQ = d.Query
+	}
+	var dec Decision
+	forced := false
+	var incumbent sim.Placement
+	switch {
+	case !d.Deployed:
+		dec.Violation = ViolationUndeployed
+		forced = true
+	case !schedulablePlacement(d.Placement, v.Cluster):
+		dec.Violation = ViolationDeadHost
+		forced = true
+	case touchesBanned(d.Placement, v.Banned):
+		dec.Violation = ViolationCordonedHost
+		forced = true
+	default:
+		obs, err := feed.Observe(effQ, v.Cluster, d.Placement)
+		if err != nil {
+			return dec, fmt.Errorf("controlplane: observing %s: %w", d.ID, err)
+		}
+		qT, qL := placement.RecordQErrors(d.Predicted, obs)
+		dec.Observed = true
+		dec.QErrThroughput = qT
+		dec.QErrProcLatency = qL
+		dec.PredLatencyMS = d.Predicted.ProcLatencyMS
+		dec.ObsLatencyMS = obs.ProcLatencyMS
+		switch {
+		case !obs.Success:
+			dec.Violation = ViolationObservedFailure
+		case qT > p.QErrorThreshold || qL > p.QErrorThreshold:
+			dec.Violation = ViolationQErrorDrift
+		}
+		incumbent = d.Placement
+	}
+	if dec.Violation == "" {
+		return dec, nil
+	}
+	met().violations(dec.Violation).Inc()
+
+	if v.schedulable() == 0 {
+		d.Deployed = false
+		d.Placement = nil
+		dec.Action = ActionUndeployed
+		return dec, nil
+	}
+	opts.BannedHosts = v.Banned
+	strat := placement.Strategy(placement.WarmStart{Incumbent: incumbent, Inner: p.Strategy})
+	res, err := placement.SearchCtx(ctx, p.Predictor, effQ, v.Cluster, strat, p.Objective, p.Budget, opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			return dec, ctx.Err()
+		}
+		// No valid placement on the schedulable hosts: undeploy.
+		d.Deployed = false
+		d.Placement = nil
+		dec.Action = ActionUndeployed
+		return dec, nil
+	}
+	challenger := append(sim.Placement(nil), res.Placement...)
+	if forced {
+		d.Placement = challenger
+		d.Predicted = res.Costs
+		d.LastMoveS = nowS
+		if d.Deployed {
+			dec.Action = ActionReplaced
+		} else {
+			dec.Action = ActionRedeployed
+			d.Deployed = true
+		}
+		met().migrations.Inc()
+		return dec, nil
+	}
+	incCosts, incErr := p.Predictor.PredictPlacement(effQ, v.Cluster, incumbent)
+	switch {
+	case equalPlacements(challenger, incumbent):
+		dec.Action = suppressedPrefix + "search kept the incumbent"
+		if incErr == nil {
+			d.Predicted = incCosts
+		}
+		met().suppressed.Inc()
+	case incErr != nil:
+		// The incumbent no longer even scores: take the challenger.
+		d.Placement = challenger
+		d.Predicted = res.Costs
+		d.LastMoveS = nowS
+		dec.Action = ActionMigrated
+		met().migrations.Inc()
+	default:
+		ok, reason := p.Hysteresis.ShouldMigrate(p.Objective.Score(incCosts), p.Objective.Score(res.Costs), nowS, d.LastMoveS)
+		if ok {
+			d.Placement = challenger
+			d.Predicted = res.Costs
+			d.LastMoveS = nowS
+			dec.Action = ActionMigrated
+			met().migrations.Inc()
+		} else {
+			dec.Action = suppressedPrefix + reason
+			// Re-base the prediction on current conditions so a tolerated
+			// drift does not re-fire forever.
+			d.Predicted = incCosts
+			met().suppressed.Inc()
+		}
+	}
+	return dec, nil
+}
+
+// schedulablePlacement reports whether p references only hosts that
+// exist in c (a dead host leaves a negative or out-of-range index).
+func schedulablePlacement(p sim.Placement, c *hardware.Cluster) bool {
+	if len(p) == 0 {
+		return false
+	}
+	for _, h := range p {
+		if h < 0 || h >= len(c.Hosts) {
+			return false
+		}
+	}
+	return true
+}
+
+// touchesBanned reports whether p uses any banned host index.
+func touchesBanned(p sim.Placement, banned []int) bool {
+	for _, h := range p {
+		for _, b := range banned {
+			if h == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func equalPlacements(a, b sim.Placement) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,56 @@
+package controlplane
+
+import (
+	"sync"
+
+	"costream/internal/obs"
+)
+
+// cpMetrics aggregates control-plane activity in the default registry.
+// All families are created eagerly at first use so the CI smoke can
+// assert their presence even before a given kind fires.
+type cpMetrics struct {
+	deployments *obs.Gauge
+	migrations  *obs.Counter
+	suppressed  *obs.Counter
+	tickSeconds *obs.Histogram
+
+	violationsByKind map[string]*obs.Counter
+	fallback         func(kind string) *obs.Counter
+}
+
+// violations returns the per-kind violation counter, creating a series
+// on the fly for kinds outside the known set.
+func (m *cpMetrics) violations(kind string) *obs.Counter {
+	if c, ok := m.violationsByKind[kind]; ok {
+		return c
+	}
+	return m.fallback(kind)
+}
+
+var met = sync.OnceValue(func() *cpMetrics {
+	r := obs.Default()
+	violation := func(kind string) *obs.Counter {
+		return r.Counter("costream_controlplane_violations_total",
+			"control-plane violations detected, by kind", "kind", kind)
+	}
+	m := &cpMetrics{
+		deployments: r.Gauge("costream_controlplane_deployments",
+			"queries currently registered with the placement control plane"),
+		migrations: r.Counter("costream_controlplane_migrations_total",
+			"placement changes activated by the control plane (drift migrations plus forced replacements)"),
+		suppressed: r.Counter("costream_controlplane_suppressed_total",
+			"re-optimizations whose result was suppressed (hysteresis or unchanged incumbent)"),
+		tickSeconds: r.Histogram("costream_controlplane_tick_seconds",
+			"control-loop tick latency", 1e-9),
+		violationsByKind: map[string]*obs.Counter{},
+		fallback:         violation,
+	}
+	for _, kind := range []string{
+		ViolationUndeployed, ViolationDeadHost, ViolationCordonedHost,
+		ViolationObservedFailure, ViolationQErrorDrift,
+	} {
+		m.violationsByKind[kind] = violation(kind)
+	}
+	return m
+})

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"costream/internal/controlplane"
 	"costream/internal/placement"
 	"costream/internal/scenario"
 	"costream/internal/sim"
@@ -129,54 +130,44 @@ type deployment struct {
 	deployed  bool
 }
 
-// resolved is the recovery spec with defaults applied.
-type resolved struct {
-	threshold float64
-	hyst      placement.Hysteresis
-	budget    placement.Budget
-	strat     placement.Strategy
-	obj       placement.Objective
-}
-
-func (sc *Scenario) resolveRecovery() (resolved, error) {
+// resolveRecovery translates the scenario's recovery spec into the
+// control-plane decision kernel the run drives, with the fleet defaults
+// applied. All self-healing decisions (violation classification,
+// warm-started re-optimization, hysteresis gating) live in
+// internal/controlplane; the fleet only scripts events and renders the
+// report.
+func (sc *Scenario) resolveRecovery() (controlplane.Policy, error) {
 	r := sc.Recovery
-	out := resolved{
-		threshold: r.QErrorThreshold,
-		hyst:      placement.Hysteresis{MinImprovement: r.MinImprovement, CooldownS: r.CooldownS},
+	pol := controlplane.Policy{
+		QErrorThreshold: r.QErrorThreshold,
+		Hysteresis:      placement.Hysteresis{MinImprovement: r.MinImprovement, CooldownS: r.CooldownS},
 	}
-	if out.threshold == 0 {
-		out.threshold = defaultQErrorThreshold
+	if pol.QErrorThreshold == 0 {
+		pol.QErrorThreshold = defaultQErrorThreshold
 	}
 	if r.MinImprovement == 0 {
-		out.hyst.MinImprovement = defaultMinImprovement
+		pol.Hysteresis.MinImprovement = defaultMinImprovement
 	}
 	budget := r.Budget
 	if budget == 0 {
 		budget = defaultSearchBudget
 	}
-	out.budget = placement.Budget{MaxCandidates: budget}
+	pol.Budget = placement.Budget{MaxCandidates: budget}
 	name := r.Strategy
 	if name == "" {
 		name = "local-search"
 	}
 	strat, err := placement.ParseStrategy(name)
 	if err != nil {
-		return resolved{}, err
+		return controlplane.Policy{}, err
 	}
-	out.strat = strat
+	pol.Strategy = strat
 	obj, err := placement.ParseObjective(r.Objective)
 	if err != nil {
-		return resolved{}, err
+		return controlplane.Policy{}, err
 	}
-	out.obj = obj
-	return out, nil
-}
-
-// deriveSeed spreads the scenario seed over (stage, index) pairs; stage
-// 0 is the deploy step, stage k+1 the k-th event, so every search and
-// observation draws from its own deterministic stream.
-func deriveSeed(base int64, stage, i int) int64 {
-	return base*1_000_003 + int64(stage)*8191 + int64(i) + 1
+	pol.Objective = obj
+	return pol, nil
 }
 
 // scaledQuery returns q with every source's event rate multiplied by
@@ -213,7 +204,7 @@ func Run(ctx context.Context, sc *Scenario, opts RunOptions) (*Report, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	rec, err := sc.resolveRecovery()
+	pol, err := sc.resolveRecovery()
 	if err != nil {
 		return nil, err
 	}
@@ -226,9 +217,10 @@ func Run(ctx context.Context, sc *Scenario, opts RunOptions) (*Report, error) {
 		oracleCfg := simCfg
 		// The oracle predicts with its own fixed noise stream; observations
 		// draw per-event seeds, so predictions do not see observation noise.
-		oracleCfg.Seed = deriveSeed(sc.Seed, 0, 0) ^ 0x5DEECE66D
+		oracleCfg.Seed = controlplane.DeriveSeed(sc.Seed, 0, 0) ^ 0x5DEECE66D
 		pred = &placement.SimOracle{Cfg: oracleCfg}
 	}
+	pol.Predictor = pred
 
 	rng := rand.New(rand.NewSource(sc.Seed))
 	fl, err := buildFleet(sc.Fleet, rng)
@@ -254,14 +246,14 @@ func Run(ctx context.Context, sc *Scenario, opts RunOptions) (*Report, error) {
 		Hosts:     fl.NumHosts(),
 		Zones:     len(sc.Fleet.Zones),
 		Queries:   sc.Workload.Queries,
-		Strategy:  rec.strat.Name(),
-		Objective: rec.obj.String(),
-		QErrorMax: rec.threshold,
+		Strategy:  pol.Strategy.Name(),
+		Objective: pol.Objective.String(),
+		QErrorMax: pol.QErrorThreshold,
 	}
 	logf("fleet: %d hosts in %d zones, %d queries (recipe %s)", fl.NumHosts(), rep.Zones, rep.Queries, recipe)
 
 	searchOpts := func(stage, i int) placement.SearchOptions {
-		return placement.SearchOptions{Workers: opts.Workers, Seed: deriveSeed(sc.Seed, stage, i)}
+		return placement.SearchOptions{Workers: opts.Workers, Seed: controlplane.DeriveSeed(sc.Seed, stage, i)}
 	}
 	loadFactor := 1.0
 	deadAfterRecovery := []string(nil)
@@ -272,136 +264,83 @@ func Run(ctx context.Context, sc *Scenario, opts RunOptions) (*Report, error) {
 	deploy := TimelineEntry{AtS: 0, Event: "deploy", AliveHosts: fl.aliveCount(), LoadFactor: 1}
 	for i := range deps {
 		d := &deployment{id: fmt.Sprintf("q%02d", i), query: sampler(i)}
-		res, err := placement.SearchCtx(ctx, pred, d.query, v.cluster, rec.strat, rec.obj, rec.budget, searchOpts(0, i))
-		if err != nil {
+		cd := controlplane.Deployment{ID: d.id, Query: d.query}
+		if err := pol.Deploy(ctx, &cd, controlplane.View{Cluster: v.cluster}, searchOpts(0, i)); err != nil {
 			return nil, fmt.Errorf("fleet: deploying %s: %w", d.id, err)
 		}
-		d.placement = v.mapToFleet(res.Placement)
-		d.predicted = res.Costs
+		d.placement = v.mapToFleet(cd.Placement)
+		d.predicted = cd.Predicted
 		d.deployed = true
 		deps[i] = d
 		deploy.Queries = append(deploy.Queries, QueryStatus{
 			ID:            d.id,
 			Hosts:         fl.hostIDs(d.placement),
-			PredLatencyMS: round4(res.Costs.ProcLatencyMS),
+			PredLatencyMS: round4(cd.Predicted.ProcLatencyMS),
 			Action:        "deployed",
 		})
 	}
 	rep.Timeline = append(rep.Timeline, deploy)
 
-	// heal runs the self-healing pass over every deployment at clock
-	// nowS; stage seeds searches and observations.
+	// heal runs the control plane's self-healing pass over every
+	// deployment at clock nowS; stage seeds searches and observations.
+	// The fleet's only job here is translation: fleet host indices to
+	// view indices in, the Decision back into report rows and totals.
 	heal := func(nowS float64, stage int, entry *TimelineEntry) error {
 		v := fl.view()
-		fleetEmpty := len(v.cluster.Hosts) == 0
+		view := controlplane.View{Cluster: v.cluster}
 		for i, d := range deps {
 			st := QueryStatus{ID: d.id}
 			effQ := scaledQuery(d.query, loadFactor)
 			obsCfg := simCfg
-			obsCfg.Seed = deriveSeed(sc.Seed^0x51ED2701, stage, i)
+			obsCfg.Seed = controlplane.DeriveSeed(sc.Seed^0x51ED2701, stage, i)
 
-			forced := false
-			var incumbent sim.Placement
-			if !d.deployed {
-				st.Violation = "undeployed"
-				forced = true
-			} else if vp, alive := v.mapToView(d.placement); !alive {
-				st.Violation = "dead-host"
-				forced = true
-			} else {
-				obs, err := sim.Run(effQ, v.cluster, vp, obsCfg)
-				if err != nil {
-					return fmt.Errorf("fleet: observing %s: %w", d.id, err)
-				}
-				qT, qL := placement.RecordQErrors(d.predicted, obs)
-				st.QErrThroughput = round4(qT)
-				st.QErrProcLatency = round4(qL)
-				st.PredLatencyMS = round4(d.predicted.ProcLatencyMS)
-				st.ObsLatencyMS = round4(obs.ProcLatencyMS)
-				switch {
-				case !obs.Success:
-					st.Violation = "observed-failure"
-				case qT > rec.threshold || qL > rec.threshold:
-					st.Violation = "qerror-drift"
-				}
-				incumbent = vp
+			cd := controlplane.Deployment{
+				ID:        d.id,
+				Query:     d.query,
+				Predicted: d.predicted,
+				LastMoveS: d.lastMoveS,
+				Deployed:  d.deployed,
 			}
-			if st.Violation == "" {
-				st.Hosts = fl.hostIDs(d.placement)
-				entry.Queries = append(entry.Queries, st)
-				continue
+			if d.deployed {
+				// mapToView leaves -1 entries for dead hosts; the policy
+				// classifies those as a dead-host violation.
+				vp, _ := v.mapToView(d.placement)
+				cd.Placement = vp
 			}
-			rep.Totals.Violations++
-
-			if fleetEmpty {
-				d.deployed = false
-				d.placement = nil
-				st.Action = "undeployed"
-				st.Hosts = nil
-				entry.Queries = append(entry.Queries, st)
-				continue
-			}
-			strat := placement.Strategy(placement.WarmStart{Incumbent: incumbent, Inner: rec.strat})
-			res, err := placement.SearchCtx(ctx, pred, effQ, v.cluster, strat, rec.obj, rec.budget, searchOpts(stage, i))
+			dec, err := pol.Heal(ctx, &cd, view, effQ, controlplane.SimFeed{Cfg: obsCfg}, nowS, searchOpts(stage, i))
 			if err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
-				// No valid placement on the surviving fleet: undeploy.
-				d.deployed = false
-				d.placement = nil
-				st.Action = "undeployed"
-				entry.Queries = append(entry.Queries, st)
-				continue
+				return fmt.Errorf("fleet: healing %s: %w", d.id, err)
 			}
-			challenger := v.mapToFleet(res.Placement)
-			if forced {
-				d.placement = challenger
-				d.predicted = res.Costs
-				d.lastMoveS = nowS
-				rep.Totals.Replacements++
-				if d.deployed {
-					st.Action = "replaced"
-				} else {
-					st.Action = "redeployed"
-					d.deployed = true
-				}
-			} else {
-				incCosts, incErr := pred.PredictPlacement(effQ, v.cluster, incumbent)
-				sameHosts := equalInts(challenger, d.placement)
+			if dec.Observed {
+				st.QErrThroughput = round4(dec.QErrThroughput)
+				st.QErrProcLatency = round4(dec.QErrProcLatency)
+				st.PredLatencyMS = round4(dec.PredLatencyMS)
+				st.ObsLatencyMS = round4(dec.ObsLatencyMS)
+			}
+			st.Violation = dec.Violation
+			st.Action = dec.Action
+			if dec.Violation != "" {
+				rep.Totals.Violations++
 				switch {
-				case sameHosts:
-					rep.Totals.Suppressed++
-					st.Action = "suppressed: search kept the incumbent"
-					if incErr == nil {
-						d.predicted = incCosts
-					}
-				case incErr != nil:
-					// The incumbent no longer even scores: take the challenger.
-					d.placement = challenger
-					d.predicted = res.Costs
-					d.lastMoveS = nowS
+				case dec.Action == controlplane.ActionMigrated:
 					rep.Totals.Migrations++
-					st.Action = "migrated"
-				default:
-					ok, reason := rec.hyst.ShouldMigrate(rec.obj.Score(incCosts), rec.obj.Score(res.Costs), nowS, d.lastMoveS)
-					if ok {
-						d.placement = challenger
-						d.predicted = res.Costs
-						d.lastMoveS = nowS
-						rep.Totals.Migrations++
-						st.Action = "migrated"
-					} else {
-						rep.Totals.Suppressed++
-						st.Action = "suppressed: " + reason
-						// Re-base the prediction on current conditions so a
-						// tolerated drift does not re-fire forever.
-						d.predicted = incCosts
-					}
+				case dec.Action == controlplane.ActionReplaced || dec.Action == controlplane.ActionRedeployed:
+					rep.Totals.Replacements++
+				case dec.Suppressed():
+					rep.Totals.Suppressed++
 				}
 			}
-			if d.deployed {
+			d.deployed = cd.Deployed
+			d.predicted = cd.Predicted
+			d.lastMoveS = cd.LastMoveS
+			if cd.Deployed {
+				d.placement = v.mapToFleet(cd.Placement)
 				st.Hosts = fl.hostIDs(d.placement)
+			} else {
+				d.placement = nil
 			}
 			entry.Queries = append(entry.Queries, st)
 		}
@@ -457,7 +396,7 @@ func Run(ctx context.Context, sc *Scenario, opts RunOptions) (*Report, error) {
 			vp, alive := v.mapToView(d.placement)
 			if alive {
 				obsCfg := simCfg
-				obsCfg.Seed = deriveSeed(sc.Seed^0x51ED2701, len(events)+1, i)
+				obsCfg.Seed = controlplane.DeriveSeed(sc.Seed^0x51ED2701, len(events)+1, i)
 				obs, err := sim.Run(scaledQuery(d.query, loadFactor), v.cluster, vp, obsCfg)
 				if err != nil {
 					return nil, fmt.Errorf("fleet: final observation of %s: %w", d.id, err)
@@ -541,14 +480,3 @@ func mergeIDs(a, b []string) []string {
 	return a
 }
 
-func equalInts(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}

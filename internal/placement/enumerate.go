@@ -35,6 +35,9 @@ type generator struct {
 	// visited[v] is the set of hosts op v's output has passed through
 	// (valid only for ops placed since the enclosing replay/draw).
 	visited []bitset
+	// banned marks hosts excluded from every emitted or accepted
+	// candidate (cordoned hosts); nil when nothing is banned.
+	banned  bitset
 	choices []int
 	scratch sim.Placement // draw scratch
 	comp    sim.Placement // completion scratch
@@ -68,6 +71,26 @@ func newGenerator(q *stream.Query, c *hardware.Cluster) (*generator, error) {
 	return g, nil
 }
 
+// ban excludes the given host indices from every candidate the generator
+// emits (choicesFor) or accepts (validate). Out-of-range indices are
+// ignored; an empty list leaves the generator untouched.
+func (g *generator) ban(hosts []int) {
+	if len(hosts) == 0 {
+		return
+	}
+	b := newBitset(g.nHosts)
+	any := false
+	for _, h := range hosts {
+		if h >= 0 && h < g.nHosts {
+			b.set(h)
+			any = true
+		}
+	}
+	if any {
+		g.banned = b
+	}
+}
+
 // choicesFor fills g.choices with the hosts operator v may be placed on,
 // in increasing host order, given that every upstream of v is placed in p
 // and has a current g.visited set. The three Figure 5 rules:
@@ -92,6 +115,9 @@ func (g *generator) choicesFor(p sim.Placement, v int) []int {
 	g.choices = g.choices[:0]
 	for h := 0; h < g.nHosts; h++ {
 		if g.bins[h] < minBin {
+			continue
+		}
+		if g.banned != nil && g.banned.has(h) {
 			continue
 		}
 		ok := true
@@ -162,10 +188,18 @@ func (g *generator) randomValid(rng *rand.Rand) (sim.Placement, bool) {
 	return nil, false
 }
 
-// validate reports whether p satisfies the Figure 5 rules.
+// validate reports whether p satisfies the Figure 5 rules and avoids
+// every banned host.
 func (g *generator) validate(p sim.Placement) bool {
 	if p.Validate(g.q, g.c) != nil {
 		return false
+	}
+	if g.banned != nil {
+		for _, h := range p {
+			if h >= 0 && h < g.nHosts && g.banned.has(h) {
+				return false
+			}
+		}
 	}
 	for _, v := range g.order {
 		h := p[v]

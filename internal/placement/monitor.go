@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -64,6 +65,17 @@ type MonitorStep struct {
 // cfg.SimCfg the trajectory is fully deterministic (the greedy move
 // selection breaks ties by operator/host index).
 func OnlineMonitoring(q *stream.Query, c *hardware.Cluster, initial sim.Placement, cfg MonitorConfig) ([]MonitorStep, error) {
+	return OnlineMonitoringCtx(context.Background(), q, c, initial, cfg)
+}
+
+// OnlineMonitoringCtx is OnlineMonitoring bounded by a context, mirroring
+// SearchCtx semantics: cancellation stops the loop at the next monitoring
+// window and returns the partial trajectory without error. Only a monitor
+// cancelled before its initial observation fails, returning ctx.Err().
+func OnlineMonitoringCtx(ctx context.Context, q *stream.Query, c *hardware.Cluster, initial sim.Placement, cfg MonitorConfig) ([]MonitorStep, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cur := append(sim.Placement(nil), initial...)
 	m, err := sim.Run(q, c, cur, cfg.SimCfg)
 	if err != nil {
@@ -76,6 +88,9 @@ func OnlineMonitoring(q *stream.Query, c *hardware.Cluster, initial sim.Placemen
 	// them (it keeps its migration history, as in [1]).
 	banned := map[[2]int]bool{}
 	for step := 0; step < cfg.MaxSteps; step++ {
+		if ctx.Err() != nil {
+			break
+		}
 		elapsed += cfg.IntervalS
 		last := steps[len(steps)-1]
 		next, move, moved := rebalanceOnce(q, c, last.Placement, last.Metrics, banned)

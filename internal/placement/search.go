@@ -51,6 +51,14 @@ type SearchOptions struct {
 	// chosen; the aggregate costream_search_* metric families in
 	// obs.Default are recorded regardless.
 	Telemetry bool
+	// BannedHosts lists cluster host indices no candidate may use
+	// (cordoned hosts). The ban is enforced at the candidate-generation
+	// substrate, so every strategy — and any placement validated through
+	// the core, including a WarmStart incumbent — respects it. An
+	// incumbent touching a banned host fails ValidPlacement and the
+	// warm start degrades to its inner strategy. Empty or nil changes
+	// nothing, including rng consumption.
+	BannedHosts []int
 }
 
 // SearchResult is the outcome of a Search run.
@@ -177,6 +185,7 @@ func newCore(ctx context.Context, pred Predictor, q *stream.Query, c *hardware.C
 	if err != nil {
 		return nil, err
 	}
+	gen.ban(opts.BannedHosts)
 	budget = budget.withDefaults()
 	return &Core{
 		ctx:           ctx,

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"costream/internal/controlplane"
+)
+
+// ControlLoop drives periodic control-plane ticks against a Plane. It
+// exists so costream-serve can wire the loop into graceful shutdown:
+// Stop halts the ticker, cancels the in-flight tick's searches and
+// waits until that tick has flushed — a migration a cancelled search
+// still decided lands fully (Policy.Heal never leaves a deployment
+// torn) before the caller proceeds to close the listener.
+type ControlLoop struct {
+	plane  *controlplane.Plane
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// StartControlLoop ticks the plane every interval until Stop.
+func StartControlLoop(p *controlplane.Plane, interval time.Duration, logf func(format string, args ...any)) *ControlLoop {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &ControlLoop{plane: p, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(l.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if _, err := p.Tick(ctx); err != nil && ctx.Err() == nil {
+					logf("control tick: %v", err)
+				}
+			}
+		}
+	}()
+	return l
+}
+
+// Stop halts the ticker and waits for any in-flight tick to flush its
+// migrations, bounded by ctx. It is idempotent.
+func (l *ControlLoop) Stop(ctx context.Context) error {
+	l.cancel()
+	select {
+	case <-l.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"costream/internal/controlplane"
+	"costream/internal/hardware"
+	"costream/internal/sim"
+	"costream/internal/stream"
+)
+
+// Control-plane surface: deployment CRUD, host cordon/drain state and
+// the manually triggered control tick. Registry mutations run outside
+// the in-flight semaphore — the plane has its own lock and its searches
+// are budgeted, so admission control for the prediction hot path does
+// not interleave with control decisions.
+
+// DeployRequest registers one query for continuous placement control.
+// Query/cluster/placement use the /v1/predict shapes, so a /v1/example
+// body plus an id deploys directly. A present placement is adopted
+// as-is (validated, priced, no search); an absent one is searched fresh
+// under the control plane's policy.
+type DeployRequest struct {
+	ID        string            `json:"id,omitempty"`
+	Query     *stream.Query     `json:"query"`
+	Cluster   *hardware.Cluster `json:"cluster"`
+	Placement sim.Placement     `json:"placement,omitempty"`
+}
+
+// HostRequest names one host for cordon/uncordon/drain. Host IDs may
+// contain path separators (e.g. "edge-a/host-001"), so the host rides
+// in the body rather than the URL path.
+type HostRequest struct {
+	Host string `json:"host"`
+}
+
+func (s *Server) handleDeployCreate(w http.ResponseWriter, r *http.Request) {
+	var req DeployRequest
+	if err := decodeRequest(r, &req); err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	if err := validatePair(req.Query, req.Cluster); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := req.ID
+	if id == "" {
+		id = s.nextDeploymentID()
+	}
+	st, err := s.plane.Deploy(r.Context(), id, req.Query, req.Cluster, req.Placement)
+	if err != nil {
+		var dup *controlplane.DuplicateError
+		if errors.As(err, &dup) {
+			s.writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		if r.Context().Err() != nil {
+			s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleDeployList(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"deployments": s.plane.List()})
+}
+
+func (s *Server) handleDeployGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.plane.Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no deployment %q", id)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleDeployDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.plane.Evict(id) {
+		s.writeError(w, http.StatusNotFound, "no deployment %q", id)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"evicted": id})
+}
+
+func (s *Server) handleHosts(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"hosts": s.plane.Hosts()})
+}
+
+func (s *Server) decodeHost(w http.ResponseWriter, r *http.Request) (string, bool) {
+	var req HostRequest
+	if err := decodeRequest(r, &req); err != nil {
+		s.writeDecodeError(w, err)
+		return "", false
+	}
+	if req.Host == "" {
+		s.writeError(w, http.StatusBadRequest, `"host" is required`)
+		return "", false
+	}
+	return req.Host, true
+}
+
+func (s *Server) handleHostCordon(w http.ResponseWriter, r *http.Request) {
+	host, ok := s.decodeHost(w, r)
+	if !ok {
+		return
+	}
+	changed := s.plane.Cordon(host)
+	s.writeJSON(w, http.StatusOK, map[string]any{"host": host, "cordoned": true, "changed": changed})
+}
+
+func (s *Server) handleHostUncordon(w http.ResponseWriter, r *http.Request) {
+	host, ok := s.decodeHost(w, r)
+	if !ok {
+		return
+	}
+	changed := s.plane.Uncordon(host)
+	s.writeJSON(w, http.StatusOK, map[string]any{"host": host, "cordoned": false, "changed": changed})
+}
+
+func (s *Server) handleHostDrain(w http.ResponseWriter, r *http.Request) {
+	host, ok := s.decodeHost(w, r)
+	if !ok {
+		return
+	}
+	healed, err := s.plane.Drain(r.Context(), host)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "drain %s: %v", host, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"host": host, "cordoned": true, "healed": healed})
+}
+
+func (s *Server) handleControlTick(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.plane.Tick(r.Context())
+	if err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, "control tick: %v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rep)
+}
+
+// nextDeploymentID generates a fresh id for DeployRequests without one.
+func (s *Server) nextDeploymentID() string {
+	for {
+		id := fmt.Sprintf("dep-%03d", s.deploySeq.Add(1))
+		if _, ok := s.plane.Get(id); !ok {
+			return id
+		}
+	}
+}

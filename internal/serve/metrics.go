@@ -10,7 +10,9 @@ import (
 
 // routeNames lists the stable route labels of the HTTP surface, used for
 // per-route request/error/latency series and the /stats request map.
-var routeNames = []string{"predict", "predict_batch", "optimize", "example", "healthz", "stats", "metrics"}
+var routeNames = []string{"predict", "predict_batch", "optimize", "example", "healthz", "stats", "metrics",
+	"deployments_create", "deployments_list", "deployments_get", "deployments_delete",
+	"hosts", "hosts_cordon", "hosts_uncordon", "hosts_drain", "control_tick"}
 
 // serveMetrics is the server's view into its metrics registry: per-route
 // request counters and latency histograms, saturation rejections, and

@@ -15,6 +15,18 @@
 //	GET  /stats             request, cache and coalescing counters (JSON)
 //	GET  /metrics           Prometheus text exposition (the canonical feed)
 //
+// Plus the placement control plane (internal/controlplane):
+//
+//	POST   /v1/deployments        register a query for continuous placement control
+//	GET    /v1/deployments        list deployments
+//	GET    /v1/deployments/{id}   one deployment's status and decision history
+//	DELETE /v1/deployments/{id}   evict a deployment
+//	GET    /v1/hosts              aggregated host state (cordons, load)
+//	POST   /v1/hosts/cordon       mark a host unschedulable ({"host": "..."})
+//	POST   /v1/hosts/uncordon     reverse a cordon
+//	POST   /v1/hosts/drain        cordon plus immediate re-placement
+//	POST   /v1/control/tick       run one control tick now
+//
 // The hot path is engineered for concurrent load: responses are served
 // from a bounded LRU keyed by a (query, cluster, placement) fingerprint;
 // cache misses for the same (query, cluster) are coalesced into shared
@@ -37,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"costream/internal/controlplane"
 	"costream/internal/hardware"
 	"costream/internal/obs"
 	"costream/internal/placement"
@@ -90,6 +103,10 @@ type Config struct {
 	// MaxRequestBytes caps request body size; larger bodies are rejected
 	// with 413. <= 0 selects DefaultMaxRequestBytes.
 	MaxRequestBytes int64
+	// ControlPlane backs the /v1/deployments and /v1/hosts surface. Nil
+	// builds a default plane over Predictor (simulated metric feed,
+	// default policy, OptimizeWorkers scoring workers).
+	ControlPlane *controlplane.Plane
 }
 
 // DefaultQueueTimeout is the in-flight queue wait bound when Config
@@ -118,11 +135,13 @@ type Server struct {
 	reg          *obs.Registry
 	met          *serveMetrics
 	logger       *slog.Logger
+	plane        *controlplane.Plane
 	// example is the precomputed /v1/example response body: the sample
 	// request is deterministic (fixed seed), so it is built once.
 	example []byte
 
-	inflight atomic.Int64
+	inflight  atomic.Int64
+	deploySeq atomic.Int64
 }
 
 // New validates the configuration and builds the server.
@@ -181,6 +200,18 @@ func New(cfg Config) (*Server, error) {
 		},
 		maxCandidates,
 	)
+	s.plane = cfg.ControlPlane
+	if s.plane == nil {
+		plane, err := controlplane.New(controlplane.Config{
+			Policy:  controlplane.Policy{Predictor: cfg.Predictor},
+			Workers: cfg.OptimizeWorkers,
+			Seed:    1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.plane = plane
+	}
 	example, err := buildExample()
 	if err != nil {
 		return nil, err
@@ -194,8 +225,21 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /stats", s.route("stats", s.handleStats))
 	s.mux.Handle("GET /metrics", s.route("metrics", reg.Handler().ServeHTTP))
+	s.mux.HandleFunc("POST /v1/deployments", s.route("deployments_create", s.handleDeployCreate))
+	s.mux.HandleFunc("GET /v1/deployments", s.route("deployments_list", s.handleDeployList))
+	s.mux.HandleFunc("GET /v1/deployments/{id}", s.route("deployments_get", s.handleDeployGet))
+	s.mux.HandleFunc("DELETE /v1/deployments/{id}", s.route("deployments_delete", s.handleDeployDelete))
+	s.mux.HandleFunc("GET /v1/hosts", s.route("hosts", s.handleHosts))
+	s.mux.HandleFunc("POST /v1/hosts/cordon", s.route("hosts_cordon", s.handleHostCordon))
+	s.mux.HandleFunc("POST /v1/hosts/uncordon", s.route("hosts_uncordon", s.handleHostUncordon))
+	s.mux.HandleFunc("POST /v1/hosts/drain", s.route("hosts_drain", s.handleHostDrain))
+	s.mux.HandleFunc("POST /v1/control/tick", s.route("control_tick", s.handleControlTick))
 	return s, nil
 }
+
+// ControlPlane returns the plane backing the deployment surface, so the
+// binary can attach a ControlLoop to it.
+func (s *Server) ControlPlane() *controlplane.Plane { return s.plane }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
